@@ -1,0 +1,104 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's per-experiment index).  Absolute numbers differ from the
+paper (different hardware, a Python substrate instead of the authors' C++/JS
+stack, down-scaled search budgets), but each benchmark prints the same rows /
+series the paper reports and asserts that the qualitative shape holds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import generate_for_workload
+from repro.database.datasets import standard_catalog
+from repro.mapping.mapper import MapperConfig
+from repro.search.config import SearchConfig
+from repro.workloads import WORKLOADS
+
+#: Reduced but representative search budgets used by the benchmark sweeps.
+BENCH_SCALE = 0.15
+
+
+def bench_config(
+    seed: int = 42,
+    early_stop: int = 16,
+    workers: int = 1,
+    sync_interval: int = 8,
+    max_iterations: int = 48,
+) -> PipelineConfig:
+    """A pipeline configuration for benchmark runs (keeps sweeps tractable)."""
+    return PipelineConfig(
+        search=SearchConfig(
+            max_iterations=max_iterations,
+            early_stop=early_stop,
+            workers=workers,
+            sync_interval=sync_interval,
+            rollout_depth=12,
+            reward_mappings=2,
+            seed=seed,
+        ),
+        mapper=MapperConfig(
+            top_k=5,
+            max_vis_per_tree=3,
+            max_joint_vis=8,
+            max_searchm_calls=1500,
+        ),
+        catalog_scale=BENCH_SCALE,
+        seed=seed,
+    )
+
+
+@dataclass
+class WorkloadRun:
+    """Metrics of one pipeline run, mirroring the paper's reporting."""
+
+    workload: str
+    total_seconds: float
+    search_seconds: float
+    mapping_seconds: float
+    cost: float
+    views: int
+    widgets: tuple
+    interactions: tuple
+    interface: object = field(repr=False, default=None)
+
+
+def run_workload(name: str, catalog, config: PipelineConfig) -> WorkloadRun:
+    start = time.perf_counter()
+    result = generate_for_workload(WORKLOADS[name], catalog=catalog, config=config)
+    elapsed = time.perf_counter() - start
+    interface = result.interface
+    return WorkloadRun(
+        workload=name,
+        total_seconds=elapsed,
+        search_seconds=result.search_seconds,
+        mapping_seconds=result.mapping_seconds,
+        cost=interface.cost.total,
+        views=interface.num_views(),
+        widgets=tuple(sorted(interface.widget_kinds())),
+        interactions=tuple(sorted(interface.interaction_kinds())),
+        interface=interface,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_catalog():
+    return standard_catalog(seed=42, scale=BENCH_SCALE)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a result table in a compact fixed-width format."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

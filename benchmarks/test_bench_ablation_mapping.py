@@ -1,0 +1,110 @@
+"""Ablation — Algorithm 1's pruning / safety check and the Difftree search.
+
+The paper attributes its runtime improvements (30 s → median 6 s) to a set of
+simple optimizations and notes that the per-candidate safety check dominates
+when there are many input queries.  This ablation quantifies, on the Filter
+log's refactored Difftrees:
+
+* interface-mapping time and result quality with and without the visualization
+  interaction safety check, and
+* the contribution of the deterministic refactor-to-fixpoint initialisation
+  (without it, MCTS needs the full budget to reach comparable states).
+"""
+
+import time
+
+import pytest
+from conftest import bench_config, print_table
+
+from repro.core.pipeline import generate_for_workload
+from repro.cost.model import CostModel
+from repro.database import Executor
+from repro.difftree import initial_difftrees, merge_difftrees
+from repro.difftree.builder import cluster_by_result_schema, parse_queries
+from repro.mapping import InterfaceMapper, MapperConfig
+from repro.transform import TransformEngine
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def filter_trees(bench_catalog):
+    executor = Executor(bench_catalog)
+    queries = list(WORKLOADS["filter"].queries)
+    engine = TransformEngine(bench_catalog, executor)
+    clusters = cluster_by_result_schema(
+        initial_difftrees(parse_queries(queries)), executor
+    )
+    return engine.refactor_to_fixpoint([merge_difftrees(c) for c in clusters]), queries
+
+
+def _map_with(bench_catalog, trees, queries, **mapper_kwargs):
+    executor = Executor(bench_catalog)
+    cost_model = CostModel(parse_queries(queries))
+    mapper = InterfaceMapper(
+        bench_catalog, executor, cost_model, MapperConfig(**mapper_kwargs)
+    )
+    start = time.perf_counter()
+    best = mapper.generate(trees)[0]
+    elapsed = time.perf_counter() - start
+    return elapsed, best, mapper.stats
+
+
+def test_ablation_safety_check_and_refactor(benchmark, bench_catalog, filter_trees):
+    trees, queries = filter_trees
+
+    time_safe, best_safe, stats_safe = _map_with(
+        bench_catalog, trees, queries, check_safety=True, max_searchm_calls=2000
+    )
+    time_unsafe, best_unsafe, stats_unsafe = _map_with(
+        bench_catalog, trees, queries, check_safety=False, max_searchm_calls=2000
+    )
+
+    # pipeline with / without the deterministic refactor initialisation
+    config_refactor = bench_config(early_stop=8, max_iterations=16)
+    config_search_only = config_refactor.replace(initial_refactor=False)
+    run_refactor = generate_for_workload(
+        WORKLOADS["filter"], catalog=bench_catalog, config=config_refactor
+    )
+    run_search_only = generate_for_workload(
+        WORKLOADS["filter"], catalog=bench_catalog, config=config_search_only
+    )
+
+    rows = [
+        ["mapping, safety check on", f"{time_safe:.1f}s", f"{best_safe.cost.total:.1f}",
+         stats_safe.interfaces_evaluated],
+        ["mapping, safety check off", f"{time_unsafe:.1f}s", f"{best_unsafe.cost.total:.1f}",
+         stats_unsafe.interfaces_evaluated],
+        ["pipeline, refactor init", f"{run_refactor.total_seconds:.1f}s",
+         f"{run_refactor.interface.cost.total:.1f}", run_refactor.interface.num_views()],
+        ["pipeline, search only", f"{run_search_only.total_seconds:.1f}s",
+         f"{run_search_only.interface.cost.total:.1f}", run_search_only.interface.num_views()],
+    ]
+    print_table(
+        "Ablation: safety check and refactor-to-fixpoint initialisation (Filter log)",
+        ["condition", "time", "best cost", "evaluated / views"],
+        rows,
+    )
+
+    # both mapping variants produce complete interfaces; disabling the safety
+    # check can only widen the candidate pool (and often speeds mapping up)
+    assert best_safe.is_complete() and best_unsafe.is_complete()
+    assert best_unsafe.cost.total <= best_safe.cost.total * 1.25
+
+    # both pipeline variants must deliver complete interfaces that express the
+    # whole log; the refactor initialisation yields the richer, multi-view
+    # interactive design (the search-only variant may fall back to static
+    # charts under the reduced benchmark budget)
+    assert run_refactor.interface.is_complete()
+    assert run_search_only.interface.is_complete()
+    assert run_refactor.interface.num_views() >= 3
+    assert run_refactor.interface.interaction_kinds() or run_refactor.interface.widgets
+
+    # benchmark the safety-checked mapping step itself
+    elapsed, best, _ = benchmark.pedantic(
+        _map_with,
+        args=(bench_catalog, trees, queries),
+        kwargs={"check_safety": True, "max_searchm_calls": 1000},
+        rounds=1,
+        iterations=1,
+    )
+    assert best.is_complete()

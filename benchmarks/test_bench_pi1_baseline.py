@@ -1,0 +1,77 @@
+"""Figure 1 comparison — PI2 vs the PI1 baseline (widgets-only interfaces).
+
+The paper motivates PI2 by contrasting it with PI1 (Zhang et al. 2019), which
+emits an unordered set of widgets and cannot express visualization
+interactions, multi-view coordination or layouts.  This benchmark runs both
+systems on the Explore and Section-2 logs and prints the comparison.
+"""
+
+import pytest
+from conftest import bench_config, print_table, run_workload
+
+from repro.baselines import pi1_generate
+from repro.difftree.builder import parse_queries
+from repro.workloads import WORKLOADS
+
+SECTION2 = [
+    "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
+    "SELECT a, count(*) FROM T GROUP BY a",
+]
+
+
+@pytest.fixture(scope="module")
+def comparison(bench_catalog):
+    config = bench_config()
+    pi2_explore = run_workload("explore", bench_catalog, config)
+    pi1_explore = pi1_generate(list(WORKLOADS["explore"].queries), catalog=bench_catalog)
+    return pi2_explore, pi1_explore
+
+
+def test_pi1_vs_pi2(benchmark, bench_catalog, comparison):
+    pi2_explore, pi1_explore = comparison
+
+    rows = [
+        [
+            "PI1",
+            "-",
+            len(pi1_explore.widgets),
+            "no",
+            "no",
+            ",".join(sorted(pi1_explore.widget_kinds())) or "-",
+        ],
+        [
+            "PI2",
+            pi2_explore.views,
+            len(pi2_explore.interface.widgets),
+            "yes" if pi2_explore.interactions else "no",
+            "yes",
+            ",".join(pi2_explore.interactions) or "-",
+        ],
+    ]
+    print_table(
+        "PI1 vs PI2 on the Explore log (Figure 1)",
+        ["system", "views", "widgets", "vis interactions", "layout", "interactions"],
+        rows,
+    )
+
+    # PI1: flat widget set, no visualizations, no layout
+    assert pi1_explore.widgets
+    assert not pi1_explore.supports_visualizations
+    assert not pi1_explore.supports_layout
+    assert pi1_explore.tree.expresses_all()
+
+    # PI2: renders the results and replaces widgets with chart interactions
+    assert pi2_explore.interface.num_views() >= 1
+    assert pi2_explore.interactions, "PI2 should map the range predicates to pan/zoom"
+    assert pi2_explore.interface.layout is not None
+
+    # on the Section-2 log both systems express every query, but only PI2
+    # renders the result and lays the interface out
+    pi1_section2 = pi1_generate(SECTION2, catalog=bench_catalog)
+    assert pi1_section2.tree.expresses_all()
+    assert pi1_section2.manipulation_cost(parse_queries(SECTION2)) > 0
+
+    # benchmark the PI1 baseline itself (alignment + widget mapping)
+    result = benchmark(pi1_generate, SECTION2, catalog=bench_catalog)
+    assert result.widgets

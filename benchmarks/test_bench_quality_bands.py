@@ -1,0 +1,83 @@
+"""Appendix (Figures 18–19) — non-optimal interfaces above 85% quality are
+nearly as good as the optimal one.
+
+Algorithm 1 returns the top-k candidate interfaces; the paper's appendix shows
+that candidates whose quality (c*/c) is ≥ 0.85 differ from the optimum only in
+minor ways (an extra toggle, an extra static chart).  This benchmark inspects
+the candidate list for the Abstract and Sales logs, prints the quality band of
+each candidate, and checks that near-optimal candidates exist and remain
+complete interfaces.
+"""
+
+import pytest
+from conftest import bench_config, print_table
+
+from repro.core.pipeline import generate_for_workload
+from repro.cost import interface_quality
+from repro.workloads import WORKLOADS
+
+LOGS = ["abstract", "sales"]
+
+
+@pytest.fixture(scope="module")
+def candidate_lists(bench_catalog):
+    config = bench_config()
+    results = {}
+    for name in LOGS:
+        result = generate_for_workload(
+            WORKLOADS[name], catalog=bench_catalog, config=config
+        )
+        results[name] = result.candidates
+    return results
+
+
+def test_quality_bands_of_candidates(benchmark, bench_catalog, candidate_lists):
+    rows = []
+    for name, candidates in candidate_lists.items():
+        best_cost = candidates[0].cost.total
+        for rank, interface in enumerate(candidates[:5]):
+            quality = interface_quality(interface.cost.total, best_cost)
+            rows.append(
+                [
+                    name,
+                    rank,
+                    f"{interface.cost.total:.1f}",
+                    f"{quality:.3f}",
+                    interface.num_views(),
+                    len(interface.widgets),
+                    len(interface.interactions),
+                ]
+            )
+    print_table(
+        "Appendix: quality of the top-k candidate interfaces",
+        ["workload", "rank", "cost", "quality", "views", "widgets", "interactions"],
+        rows,
+    )
+
+    for name, candidates in candidate_lists.items():
+        # the top candidate defines quality 1.0 and is a complete interface
+        assert candidates[0].is_complete()
+        qualities = [
+            interface_quality(c.cost.total, candidates[0].cost.total)
+            for c in candidates
+        ]
+        assert qualities[0] == pytest.approx(1.0)
+        # near-optimal (>= 0.85) alternatives exist and are also complete
+        near_optimal = [
+            c
+            for c, q in zip(candidates, qualities)
+            if q >= 0.85
+        ]
+        assert near_optimal, name
+        assert all(c.is_complete() for c in near_optimal)
+
+    # benchmark the candidate enumeration for the abstract log
+    config = bench_config()
+    result = benchmark.pedantic(
+        generate_for_workload,
+        args=(WORKLOADS["abstract"],),
+        kwargs={"catalog": bench_catalog, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.candidates) >= 1

@@ -1,0 +1,56 @@
+"""repro — a from-scratch Python reproduction of PI2 (SIGMOD 2022).
+
+PI2 generates fully functional interactive visualization interfaces from a
+small sequence of example SQL analysis queries.  This package implements the
+complete system described in the paper — the Difftree structure, the
+transformation-rule search (MCTS), visualization / widget / interaction /
+layout mapping, the SUPPLE + Fitts' law cost model — plus every substrate it
+depends on: a SQL parser, an in-memory relational engine with a catalogue,
+synthetic evaluation datasets, a headless interface runtime and the PI1
+baseline.
+
+Quickstart::
+
+    from repro import generate_interface
+
+    result = generate_interface([
+        "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 "
+        "AND mpg BETWEEN 27 AND 38",
+        "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 "
+        "AND mpg BETWEEN 16 AND 30",
+    ])
+    print(result.interface.describe())
+"""
+
+from .core import (
+    PipelineConfig,
+    PipelineResult,
+    best_static_interface,
+    generate_for_workload,
+    generate_interface,
+)
+from .database import Catalog, Executor, standard_catalog
+from .difftree import Difftree
+from .interface import Interface, InterfaceRuntime, export_html
+from .workloads import WORKLOADS, Workload, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Difftree",
+    "Executor",
+    "Interface",
+    "InterfaceRuntime",
+    "PipelineConfig",
+    "PipelineResult",
+    "WORKLOADS",
+    "Workload",
+    "__version__",
+    "best_static_interface",
+    "export_html",
+    "generate_for_workload",
+    "generate_interface",
+    "get_workload",
+    "standard_catalog",
+]

@@ -1,0 +1,5 @@
+"""Baseline systems PI2 is compared against (currently PI1)."""
+
+from .pi1 import PI1Interface, pi1_generate
+
+__all__ = ["PI1Interface", "pi1_generate"]

@@ -1,0 +1,150 @@
+"""PI1 baseline: widget-only interface mining (Zhang et al., SIGMOD 2019).
+
+The paper's predecessor system ("precision interfaces") models an interface
+as an *unordered set of widgets*: it aligns the query ASTs, extracts the
+subtrees that differ, groups the differences, and maps each group to an
+interactive widget.  It does **not** consider how results are rendered, so it
+cannot produce visualization interactions, multiple coordinated views, or
+layouts — exactly the gap PI2's evaluation (Figure 1) highlights.
+
+This reimplementation reuses the Difftree machinery to perform the alignment
+(Merge + PushANY + ANY→VAL to a fixed point) and then maps every choice node
+to its cheapest *widget*; visualizations and layout are intentionally absent.
+It exists so the benchmarks can compare PI2's interfaces against the PI1
+output on the same query logs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..cost.model import CostModel
+from ..database.catalog import Catalog
+from ..database.datasets import standard_catalog
+from ..database.executor import Executor
+from ..difftree.builder import initial_difftrees, merge_difftrees, parse_queries
+from ..difftree.tree import Difftree
+from ..mapping.widgets import WidgetCandidate, candidate_widgets
+from ..sqlparser.ast_nodes import Node
+from ..transform.engine import TransformEngine
+from ..transform.rules import (
+    AnyToValRule,
+    MergeAnyRule,
+    NoopRule,
+    PartitionRule,
+    PushAnyRule,
+)
+
+QueryLike = Union[str, Node]
+
+
+@dataclass
+class PI1Interface:
+    """PI1's output: a flat, unordered set of widgets over one merged Difftree."""
+
+    tree: Difftree
+    widgets: list[WidgetCandidate] = field(default_factory=list)
+
+    def widget_kinds(self) -> set[str]:
+        return {w.widget.name for w in self.widgets}
+
+    @property
+    def supports_visualizations(self) -> bool:
+        """PI1 has no notion of visualizations."""
+        return False
+
+    @property
+    def supports_layout(self) -> bool:
+        """PI1 emits an unordered widget set, not a layout."""
+        return False
+
+    def manipulation_cost(self, queries: Sequence[Node]) -> float:
+        """Total widget manipulation cost to express the query log."""
+        cost_model = CostModel(list(queries))
+        total = 0.0
+        bindings_per_query = self.tree.derivations()
+        previous: dict[int, tuple] = {}
+        for derivation in bindings_per_query:
+            if derivation is None:
+                continue
+            params: dict[int, tuple] = {}
+            for b in derivation:
+                params[b.node_id] = params.get(b.node_id, tuple()) + (b.param,)
+            changed = {
+                nid for nid, value in params.items() if previous.get(nid) != value
+            }
+            previous.update(params)
+            counted = set()
+            for widget in self.widgets:
+                if widget.cover & changed and id(widget) not in counted:
+                    counted.add(id(widget))
+                    from ..interface.spec import AppliedWidget
+
+                    total += cost_model.widget_manipulation_cost(
+                        AppliedWidget(widget, 0)
+                    )
+        return total
+
+    def describe(self) -> str:
+        lines = [f"PI1 interface: {len(self.widgets)} widget(s), no visualization"]
+        for w in self.widgets:
+            lines.append(f"  {w.describe()}")
+        return "\n".join(lines)
+
+
+def pi1_generate(
+    queries: Sequence[QueryLike],
+    catalog: Optional[Catalog] = None,
+    seed: int = 13,
+    max_steps: int = 60,
+) -> PI1Interface:
+    """Run the PI1 baseline: align the queries and map differences to widgets."""
+    catalog = catalog or standard_catalog(seed=seed, scale=0.2)
+    executor = Executor(catalog)
+    asts = parse_queries(queries)
+
+    merged = merge_difftrees(initial_difftrees(asts))
+    engine = TransformEngine(
+        catalog,
+        executor,
+        rules=[PushAnyRule(), PartitionRule(), AnyToValRule(), NoopRule(), MergeAnyRule()],
+        max_applications=32,
+    )
+    rng = random.Random(seed)
+    state = [merged]
+    for _ in range(max_steps):
+        apps = engine.applications(state, rng)
+        if not apps:
+            break
+        # PI1's alignment is deterministic: prefer refactoring over mutation
+        apps.sort(key=lambda a: (a.category != "refactoring", a.rule_name))
+        applied = None
+        for app in apps:
+            new_state = engine.apply(app)
+            if new_state is not None and len(new_state) == 1:
+                fingerprint_before = state[0].fingerprint()
+                if new_state[0].fingerprint() != fingerprint_before:
+                    applied = new_state
+                    break
+        if applied is None:
+            break
+        state = applied
+
+    tree = state[0]
+    bindings = tree.query_bindings()
+    widgets: list[WidgetCandidate] = []
+    covered: set[int] = set()
+    for node in tree.choice_nodes():
+        if node.node_id in covered:
+            continue
+        candidates = candidate_widgets(tree, node, catalog, bindings)
+        if not candidates:
+            continue
+        # PI1 picks the simplest widget expressing the difference group
+        candidates.sort(key=lambda c: (len(c.cover), c.widget.base_cost))
+        chosen = candidates[0]
+        widgets.append(chosen)
+        covered.update(chosen.cover)
+    return PI1Interface(tree=tree, widgets=widgets)

@@ -1,0 +1,160 @@
+"""Command-line interface for the PI2 reproduction.
+
+Examples::
+
+    # list the built-in evaluation workloads
+    python -m repro list-workloads
+
+    # generate the interface for a built-in workload and write an HTML preview
+    python -m repro generate --workload covid --html covid.html
+
+    # generate an interface from your own queries (one per line in a file,
+    # or passed inline) against the synthetic catalogue
+    python -m repro generate --query "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60" \
+                             --query "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 60 AND 90"
+
+    # inspect a workload's queries
+    python -m repro show --workload sales
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .core.config import PipelineConfig
+from .core.pipeline import generate_interface
+from .database.datasets import standard_catalog
+from .database.executor import Executor
+from .interface.export import export_html, interface_to_json
+from .interface.runtime import InterfaceRuntime
+from .taxonomy import classify_interface
+from .workloads import WORKLOADS, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PI2: generate interactive visualization interfaces from example queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an interface")
+    gen.add_argument("--workload", help="name of a built-in workload (see list-workloads)")
+    gen.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="an input query (repeat the flag for a sequence)",
+    )
+    gen.add_argument("--queries-file", help="file with one SQL query per line")
+    gen.add_argument(
+        "--config",
+        choices=["fast", "paper"],
+        default="fast",
+        help="search budget: 'fast' (default) or 'paper' (the paper's defaults)",
+    )
+    gen.add_argument("--seed", type=int, default=42, help="random seed")
+    gen.add_argument("--scale", type=float, default=0.3, help="synthetic catalogue scale")
+    gen.add_argument("--html", help="write a static HTML preview to this path")
+    gen.add_argument("--json", dest="json_out", help="write the interface spec as JSON")
+    gen.add_argument(
+        "--taxonomy",
+        action="store_true",
+        help="also print the Yi et al. interaction-taxonomy classification",
+    )
+
+    sub.add_parser("list-workloads", help="list the built-in evaluation workloads")
+
+    show = sub.add_parser("show", help="print a workload's queries")
+    show.add_argument("--workload", required=True)
+
+    return parser
+
+
+def _load_queries(args) -> list[str]:
+    queries: list[str] = []
+    if args.workload:
+        queries.extend(get_workload(args.workload).queries)
+    queries.extend(args.query)
+    if args.queries_file:
+        with open(args.queries_file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line and not line.startswith("--"):
+                    queries.append(line)
+    if not queries:
+        raise SystemExit("no input queries: pass --workload, --query or --queries-file")
+    return queries
+
+
+def _command_generate(args) -> int:
+    queries = _load_queries(args)
+    config = (
+        PipelineConfig.paper_defaults(seed=args.seed)
+        if args.config == "paper"
+        else PipelineConfig.fast(seed=args.seed)
+    )
+    catalog = standard_catalog(seed=args.seed, scale=args.scale)
+
+    print(f"generating an interface from {len(queries)} queries …", file=sys.stderr)
+    result = generate_interface(queries, catalog=catalog, config=config)
+    interface = result.interface
+
+    print(interface.describe())
+    print(
+        f"\ngenerated in {result.total_seconds:.1f}s "
+        f"(search {result.search_seconds:.1f}s, mapping {result.mapping_seconds:.1f}s)"
+    )
+    if args.taxonomy:
+        print("\nYi et al. taxonomy coverage:")
+        print(classify_interface(interface).describe())
+
+    runtime: Optional[InterfaceRuntime] = None
+    if args.html or args.json_out:
+        runtime = InterfaceRuntime(interface, Executor(catalog))
+    if args.html:
+        export_html(interface, args.html, runtime, title="PI2 generated interface")
+        print(f"wrote HTML preview to {args.html}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(interface_to_json(interface, runtime))
+        print(f"wrote JSON spec to {args.json_out}")
+    return 0
+
+
+def _command_list_workloads() -> int:
+    rows = []
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]
+        rows.append((name, len(workload.queries), workload.description))
+    width = max(len(r[0]) for r in rows)
+    for name, count, description in rows:
+        print(f"{name.ljust(width)}  {count:2d} queries  {description}")
+    return 0
+
+
+def _command_show(args) -> int:
+    workload = get_workload(args.workload)
+    print(f"-- {workload.name}: {workload.description}")
+    for i, sql in enumerate(workload.queries, 1):
+        print(f"Q{i}: {sql}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "list-workloads":
+        return _command_list_workloads()
+    if args.command == "show":
+        return _command_show(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""End-to-end PI2 pipeline: queries → Difftrees → search → interface."""
+
+from .config import PipelineConfig, PipelineResult
+from .pipeline import best_static_interface, generate_for_workload, generate_interface
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "best_static_interface",
+    "generate_for_workload",
+    "generate_interface",
+]

@@ -1,0 +1,144 @@
+"""The end-to-end PI2 pipeline (paper Figure 6).
+
+``generate_interface(queries, …)`` is the library's main entry point.  It:
+
+1. parses the input query sequence into per-query Difftrees (optionally
+   clustering them by result schema, the paper's initial Partition),
+2. runs parallel MCTS over the transformation-rule search space, estimating
+   each state's reward from K random interface mappings,
+3. runs Algorithm 1 (visualization / interaction / layout mapping) on the
+   best Difftree state, and
+4. returns the lowest-cost interface together with search diagnostics.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional, Sequence, Union
+
+from ..cost.model import CostModel
+from ..database.catalog import Catalog
+from ..database.datasets import standard_catalog
+from ..database.executor import Executor
+from ..difftree.builder import (
+    cluster_by_result_schema,
+    initial_difftrees,
+    merge_difftrees,
+    parse_queries,
+)
+from ..interface.spec import Interface
+from ..mapping.mapper import InterfaceMapper
+from ..search.parallel import parallel_search
+from ..search.state import SearchState
+from ..sqlparser.ast_nodes import Node
+from ..transform.engine import TransformEngine
+from .config import PipelineConfig, PipelineResult
+
+QueryLike = Union[str, Node]
+
+
+def generate_interface(
+    queries: Sequence[QueryLike],
+    catalog: Optional[Catalog] = None,
+    config: Optional[PipelineConfig] = None,
+) -> PipelineResult:
+    """Generate the lowest-cost interactive interface for a query sequence.
+
+    Args:
+        queries: the example analysis queries (SQL strings or parsed ASTs),
+            in the order the analyst issued them.
+        catalog: the database catalogue to run against; defaults to the
+            synthetic catalogue containing every table the paper uses.
+        config: pipeline configuration; defaults to the paper's defaults.
+
+    Returns:
+        A :class:`PipelineResult` whose ``interface`` is the generated
+        :class:`repro.interface.spec.Interface`.
+    """
+    config = config or PipelineConfig()
+    catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
+    executor = Executor(catalog)
+    asts = parse_queries(queries)
+
+    total_start = time.perf_counter()
+
+    # step 1: initial Difftrees (optionally clustered by result schema)
+    trees = initial_difftrees(asts)
+    if config.initial_partition and len(trees) > 1:
+        clusters = cluster_by_result_schema(trees, executor)
+        trees = [merge_difftrees(cluster) for cluster in clusters]
+
+    # step 2: MCTS over transformation rules
+    engine = TransformEngine(
+        catalog, executor, max_applications=config.search.max_applications
+    )
+    if config.initial_refactor:
+        trees = engine.refactor_to_fixpoint(trees)
+    cost_model = CostModel(asts, config.cost)
+    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper)
+
+    reward_rng = random.Random(config.seed + 101)
+
+    def reward_fn(state: SearchState) -> float:
+        interfaces = mapper.random_interfaces(
+            state.trees, config.search.reward_mappings, reward_rng
+        )
+        if not interfaces:
+            return float("-inf")
+        best = min(i.cost.total for i in interfaces if i.cost is not None)
+        return -best
+
+    search_start = time.perf_counter()
+    result = parallel_search(trees, engine, reward_fn, config.search)
+    search_seconds = time.perf_counter() - search_start
+
+    # step 3: exhaustive interface mapping on the best state (Algorithm 1)
+    mapping_start = time.perf_counter()
+    candidates = mapper.generate(result.best_state.trees)
+    mapping_seconds = time.perf_counter() - mapping_start
+    interface = candidates[0]
+
+    return PipelineResult(
+        interface=interface,
+        state=result.best_state,
+        search_seconds=search_seconds,
+        mapping_seconds=mapping_seconds,
+        total_seconds=time.perf_counter() - total_start,
+        search_stats=result.stats,
+        mapper_stats=mapper.stats,
+        best_reward=result.best_reward,
+        candidates=candidates,
+    )
+
+
+def generate_for_workload(
+    workload, catalog: Optional[Catalog] = None, config: Optional[PipelineConfig] = None
+) -> PipelineResult:
+    """Convenience wrapper: generate the interface for a named workload."""
+    from ..workloads.logs import Workload, get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    assert isinstance(workload, Workload)
+    return generate_interface(list(workload.queries), catalog=catalog, config=config)
+
+
+def best_static_interface(
+    queries: Sequence[QueryLike],
+    catalog: Optional[Catalog] = None,
+    config: Optional[PipelineConfig] = None,
+) -> Interface:
+    """The no-search baseline: map each query to its own static chart.
+
+    Used by benchmarks to quantify how much the Difftree search contributes
+    over simply rendering every query separately.
+    """
+    config = config or PipelineConfig()
+    catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
+    executor = Executor(catalog)
+    asts = parse_queries(queries)
+    trees = initial_difftrees(asts)
+    cost_model = CostModel(asts, config.cost)
+    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper)
+    return mapper.generate(trees)[0]

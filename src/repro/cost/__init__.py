@@ -1,0 +1,26 @@
+"""Interface cost model: SUPPLE manipulation cost + Fitts'-law navigation."""
+
+from .fitts import FITTS_A, FITTS_B, centroid_distance, fitts_time
+from .model import (
+    CostModel,
+    CostModelConfig,
+    LAYOUT_ALPHA,
+    WIDGET_A0,
+    WIDGET_A1,
+    WIDGET_A2,
+    interface_quality,
+)
+
+__all__ = [
+    "CostModel",
+    "CostModelConfig",
+    "FITTS_A",
+    "FITTS_B",
+    "LAYOUT_ALPHA",
+    "WIDGET_A0",
+    "WIDGET_A1",
+    "WIDGET_A2",
+    "centroid_distance",
+    "fitts_time",
+    "interface_quality",
+]

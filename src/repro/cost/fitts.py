@@ -1,0 +1,33 @@
+"""Fitts' law movement-time model (paper Section 5, navigation cost).
+
+Fitts' law estimates the time to move a pointer to a target of width ``W`` at
+distance ``D`` as ``a + b * log2(2D / W)``.  The paper's prototype sets
+``a = 1`` and ``b = 25`` (from manual experimentation) and uses the distance
+between widget centroids for ``D`` and the smaller box dimension of the
+target for ``W`` (MacKenzie & Buxton's 2-D extension).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Constants from the paper ("Our prototype sets a = 1 and b = 25").
+FITTS_A = 1.0
+FITTS_B = 25.0
+
+
+def fitts_time(distance: float, width: float, a: float = FITTS_A, b: float = FITTS_B) -> float:
+    """Movement time to a target of extent ``width`` at ``distance`` pixels."""
+    if width <= 0:
+        width = 1.0
+    if distance <= 0:
+        return a
+    index_of_difficulty = math.log2(max(1.0, 2.0 * distance / width))
+    return a + b * index_of_difficulty
+
+
+def centroid_distance(
+    a: tuple[float, float], b: tuple[float, float]
+) -> float:
+    """Euclidean distance between two centroids."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])

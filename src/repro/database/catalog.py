@@ -1,0 +1,138 @@
+"""Database catalogue: table schemas, attribute resolution and statistics.
+
+The catalogue is one of the two external inputs PI2 needs ("a database
+connection to execute queries, and the database catalogue").  It answers the
+questions the Difftree and mapping layers ask:
+
+* what is the fully qualified name and type of attribute ``x``?
+* what is the domain (min/max, distinct values) and cardinality of ``T.a``?
+* is ``T.a`` unique (primary key like) — needed for FD constraints of charts?
+* what is the return type of function ``f`` — needed for type inference?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .functions import function_return_type
+from .statistics import ColumnStatistics, compute_column_statistics
+from .table import Table
+from .types import Column, DataType
+
+
+class CatalogError(Exception):
+    """Raised for unknown tables/columns or ambiguous attribute references."""
+
+
+class Catalog:
+    """A collection of named base tables plus cached per-column statistics."""
+
+    def __init__(self, tables: Optional[Iterable[Table]] = None) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, ColumnStatistics] = {}
+        for table in tables or []:
+            self.add_table(table)
+
+    # -- table management -----------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        """Register a base table (case-insensitive lookup key)."""
+        self._tables[table.name.lower()] = table
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._tables.values()]
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # -- attribute resolution ---------------------------------------------------
+
+    def resolve_attribute(
+        self, name: str, tables_in_scope: Optional[Iterable[str]] = None
+    ) -> Optional[tuple[str, Column]]:
+        """Resolve an attribute reference to ``(table_name, Column)``.
+
+        ``name`` may be bare (``hp``) or qualified (``Cars.hp``).  When
+        ``tables_in_scope`` is given, only those tables are searched (this is
+        how the Difftree layer restricts resolution to the query's FROM
+        clause).  Returns ``None`` when the attribute cannot be resolved
+        unambiguously — PI2 then simply falls back to primitive types.
+        """
+        if "." in name:
+            table_part, col_part = name.split(".", 1)
+            if self.has_table(table_part):
+                table = self.table(table_part)
+                if table.has_column(col_part):
+                    return table.name, table.column(col_part)
+            # the qualifier may be a query alias; fall through to bare search
+            name = col_part
+
+        scope = [self.table(t) for t in tables_in_scope if self.has_table(t)] if tables_in_scope else self.tables()
+        matches = [(t.name, t.column(name)) for t in scope if t.has_column(name)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            # ambiguous without more context; prefer the first table in scope
+            # order so resolution is deterministic.
+            return matches[0]
+        return None
+
+    def attribute_type(
+        self, name: str, tables_in_scope: Optional[Iterable[str]] = None
+    ) -> DataType:
+        """The data type of an attribute, or ``ANY`` when unresolvable."""
+        resolved = self.resolve_attribute(name, tables_in_scope)
+        return resolved[1].dtype if resolved else DataType.ANY
+
+    def qualified_name(
+        self, name: str, tables_in_scope: Optional[Iterable[str]] = None
+    ) -> Optional[str]:
+        """The fully qualified ``table.column`` name, or ``None``."""
+        resolved = self.resolve_attribute(name, tables_in_scope)
+        if resolved is None:
+            return None
+        table_name, col = resolved
+        return f"{table_name}.{col.name}"
+
+    # -- statistics --------------------------------------------------------------
+
+    def statistics(self, qualified: str) -> ColumnStatistics:
+        """Statistics for ``table.column`` (computed lazily, then cached)."""
+        key = qualified.lower()
+        if key not in self._stats:
+            table_name, col_name = qualified.split(".", 1)
+            table = self.table(table_name)
+            self._stats[key] = compute_column_statistics(table, col_name)
+        return self._stats[key]
+
+    def domain(self, qualified: str) -> tuple[Optional[object], Optional[object]]:
+        """(min, max) of the attribute's values."""
+        return self.statistics(qualified).domain()
+
+    def distinct_values(self, qualified: str) -> Optional[tuple]:
+        """The sorted distinct values when the domain is small, else ``None``."""
+        return self.statistics(qualified).distinct_values
+
+    def cardinality(self, qualified: str) -> int:
+        return self.statistics(qualified).distinct_count
+
+    def is_unique(self, qualified: str) -> bool:
+        stats = self.statistics(qualified)
+        table = self.table(stats.table)
+        return table.column(stats.column).primary_key or stats.is_unique
+
+    # -- functions ------------------------------------------------------------------
+
+    @staticmethod
+    def function_type(name: str) -> DataType:
+        """Declared return type of a scalar or aggregate function."""
+        return function_return_type(name)

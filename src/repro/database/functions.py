@@ -1,0 +1,227 @@
+"""Scalar and aggregate function library for the query executor.
+
+The catalogue exposes each function's return type (the paper: "we infer the
+type of a function call based on its return type in the catalogue"), and the
+executor uses the implementations at query time.
+
+Date handling: dates are ISO-8601 strings, and ``date(base, modifier)``
+follows the SQLite convention used by the paper's covid queries, e.g.
+``date(today(), '-30 days')``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Callable, Optional, Sequence
+
+from .types import DataType
+
+#: Fixed "today" so that workloads and tests are deterministic.  The covid
+#: synthetic dataset generator uses the same anchor date.
+TODAY = _dt.date(2021, 6, 30)
+
+
+class FunctionError(Exception):
+    """Raised when a function call cannot be evaluated."""
+
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_today() -> str:
+    return TODAY.isoformat()
+
+
+def _parse_date(text: str) -> _dt.date:
+    try:
+        return _dt.date.fromisoformat(str(text)[:10])
+    except ValueError as exc:
+        raise FunctionError(f"invalid date literal {text!r}") from exc
+
+
+def _fn_date(*args) -> Optional[str]:
+    """SQLite-style date(): date(base [, modifier ...])."""
+    if not args:
+        return TODAY.isoformat()
+    base = args[0]
+    if base is None:
+        return None
+    if base == "now":
+        base = TODAY.isoformat()
+    current = _parse_date(base)
+    for modifier in args[1:]:
+        current = _apply_date_modifier(current, str(modifier))
+    return current.isoformat()
+
+
+def _apply_date_modifier(base: _dt.date, modifier: str) -> _dt.date:
+    text = modifier.strip().lower()
+    sign = 1
+    if text.startswith("-"):
+        sign = -1
+        text = text[1:]
+    elif text.startswith("+"):
+        text = text[1:]
+    parts = text.split()
+    if len(parts) != 2:
+        raise FunctionError(f"unsupported date modifier {modifier!r}")
+    amount = int(float(parts[0]))
+    unit = parts[1].rstrip("s")
+    if unit == "day":
+        return base + _dt.timedelta(days=sign * amount)
+    if unit == "month":
+        month = base.month - 1 + sign * amount
+        year = base.year + month // 12
+        month = month % 12 + 1
+        day = min(base.day, 28)
+        return _dt.date(year, month, day)
+    if unit == "year":
+        return _dt.date(base.year + sign * amount, base.month, min(base.day, 28))
+    raise FunctionError(f"unsupported date modifier unit {unit!r}")
+
+
+def _fn_abs(x):
+    return None if x is None else abs(x)
+
+
+def _fn_round(x, digits=0):
+    return None if x is None else round(x, int(digits))
+
+
+def _fn_floor(x):
+    return None if x is None else math.floor(x)
+
+
+def _fn_ceil(x):
+    return None if x is None else math.ceil(x)
+
+
+def _fn_lower(x):
+    return None if x is None else str(x).lower()
+
+
+def _fn_upper(x):
+    return None if x is None else str(x).upper()
+
+
+def _fn_length(x):
+    return None if x is None else len(str(x))
+
+
+def _fn_coalesce(*args):
+    for a in args:
+        if a is not None:
+            return a
+    return None
+
+
+def _fn_year(x):
+    return None if x is None else _parse_date(x).year
+
+
+def _fn_month(x):
+    return None if x is None else _parse_date(x).month
+
+
+def _fn_day(x):
+    return None if x is None else _parse_date(x).day
+
+
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "today": _fn_today,
+    "now": _fn_today,
+    "date": _fn_date,
+    "abs": _fn_abs,
+    "round": _fn_round,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "lower": _fn_lower,
+    "upper": _fn_upper,
+    "length": _fn_length,
+    "coalesce": _fn_coalesce,
+    "year": _fn_year,
+    "month": _fn_month,
+    "day": _fn_day,
+}
+
+#: Return types of the scalar functions (the catalogue annotation).
+SCALAR_RETURN_TYPES: dict[str, DataType] = {
+    "today": DataType.DATE,
+    "now": DataType.DATE,
+    "date": DataType.DATE,
+    "abs": DataType.FLOAT,
+    "round": DataType.FLOAT,
+    "floor": DataType.INT,
+    "ceil": DataType.INT,
+    "lower": DataType.STR,
+    "upper": DataType.STR,
+    "length": DataType.INT,
+    "coalesce": DataType.ANY,
+    "year": DataType.INT,
+    "month": DataType.INT,
+    "day": DataType.INT,
+}
+
+
+# ---------------------------------------------------------------------------
+# aggregate functions
+# ---------------------------------------------------------------------------
+
+
+def _agg_count(values: Sequence) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def _agg_sum(values: Sequence):
+    items = [v for v in values if v is not None]
+    return sum(items) if items else None
+
+
+def _agg_avg(values: Sequence):
+    items = [v for v in values if v is not None]
+    return sum(items) / len(items) if items else None
+
+
+def _agg_min(values: Sequence):
+    items = [v for v in values if v is not None]
+    return min(items) if items else None
+
+
+def _agg_max(values: Sequence):
+    items = [v for v in values if v is not None]
+    return max(items) if items else None
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+#: Return types for aggregates; None means "same type as the argument".
+AGGREGATE_RETURN_TYPES: dict[str, Optional[DataType]] = {
+    "count": DataType.INT,
+    "sum": None,
+    "avg": DataType.FLOAT,
+    "min": None,
+    "max": None,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    """True if ``name`` (possibly with a ``" distinct"`` suffix) is an aggregate."""
+    return name.removesuffix(" distinct") in AGGREGATE_FUNCTIONS
+
+
+def function_return_type(name: str) -> DataType:
+    """The catalogue's declared return type for a function name."""
+    base = name.removesuffix(" distinct")
+    if base in AGGREGATE_RETURN_TYPES:
+        declared = AGGREGATE_RETURN_TYPES[base]
+        return declared if declared is not None else DataType.FLOAT
+    return SCALAR_RETURN_TYPES.get(base, DataType.ANY)

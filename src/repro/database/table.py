@@ -1,0 +1,152 @@
+"""Table and result-set containers for the in-memory database substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .types import Column, DataType, infer_value_type, unify_all
+
+
+class Table:
+    """An in-memory base table with a declared schema.
+
+    Rows are stored as tuples in declaration order.  Tables are append-only:
+    PI2 never mutates data, it only reads it to infer schemas, statistics and
+    to execute the queries behind each visualization.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.rows: list[tuple] = []
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise ValueError(f"duplicate column names in table {name!r}")
+
+    # -- construction -------------------------------------------------------
+
+    def insert(self, row: Sequence[object]) -> None:
+        """Append a single row (must match the column count)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row width {len(row)} does not match table {self.name!r} "
+                f"width {len(self.columns)}"
+            )
+        self.rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        columns: Sequence[Column],
+        rows: Iterable[Sequence[object]],
+    ) -> "Table":
+        table = cls(name, columns)
+        table.insert_many(rows)
+        return table
+
+    @classmethod
+    def from_dicts(cls, name: str, records: Sequence[dict]) -> "Table":
+        """Build a table from a list of dictionaries, inferring column types."""
+        if not records:
+            raise ValueError("cannot infer schema from an empty record list")
+        names = list(records[0].keys())
+        columns = []
+        for col in names:
+            dtype = unify_all(infer_value_type(rec[col]) for rec in records)
+            columns.append(Column(col, dtype))
+        rows = [tuple(rec[col] for col in names) for rec in records]
+        return cls.from_rows(name, columns, rows)
+
+    # -- access ---------------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        if name not in self._index:
+            raise KeyError(f"no column {name!r} in table {self.name!r}")
+        return self._index[name]
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def values(self, name: str) -> list[object]:
+        """All values of a column, in row order."""
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {len(self.columns)} cols, {len(self.rows)} rows)"
+
+
+@dataclass
+class ResultColumn:
+    """A column of a query result.
+
+    Attributes:
+        name: output column name (alias, bare column name, or rendered
+            expression text).
+        dtype: inferred data type.
+        source: fully qualified source attribute (``table.column``) when the
+            output column is a direct projection of a base attribute, else
+            ``None``.  PI2 uses this to connect result columns back to
+            database attribute domains (attribute types, Section 3.2.1).
+        is_aggregate: True when the column is produced by an aggregate call.
+    """
+
+    name: str
+    dtype: DataType
+    source: Optional[str] = None
+    is_aggregate: bool = False
+
+
+@dataclass
+class ResultTable:
+    """A query result: a list of :class:`ResultColumn` plus rows of tuples."""
+
+    columns: list[ResultColumn] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise KeyError(f"no result column {name!r}")
+
+    def values(self, name: str) -> list[object]:
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def distinct_count(self, name: str) -> int:
+        return len(set(self.values(name)))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        names = self.column_names()
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def head(self, n: int = 5) -> "ResultTable":
+        return ResultTable(self.columns, self.rows[:n])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultTable({self.column_names()}, {len(self.rows)} rows)"

@@ -1,0 +1,103 @@
+"""Value types for the in-memory database substrate.
+
+The database layer deliberately uses a very small type system: PI2 itself only
+distinguishes numeric (``num``) from string (``str``) values plus per-attribute
+domains (Section 3.2.1 of the paper), so the substrate tracks just enough
+information to answer those questions — plus dates, which the covid / sp500 /
+sales workloads filter on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the substrate."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"   # ISO-8601 'YYYY-MM-DD' strings; compare lexicographically
+    BOOL = "bool"
+    NULL = "null"
+    ANY = "any"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT, DataType.BOOL)
+
+    @property
+    def is_textual(self) -> bool:
+        return self in (DataType.STR, DataType.DATE)
+
+
+def infer_value_type(value: object) -> DataType:
+    """Infer the :class:`DataType` of a single Python value."""
+    if value is None:
+        return DataType.NULL
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        if looks_like_date(value):
+            return DataType.DATE
+        return DataType.STR
+    raise TypeError(f"unsupported value type: {type(value)!r}")
+
+
+def looks_like_date(value: str) -> bool:
+    """Heuristic check for ISO-8601 date strings (YYYY-MM-DD)."""
+    if len(value) != 10 or value[4] != "-" or value[7] != "-":
+        return False
+    y, m, d = value[:4], value[5:7], value[8:10]
+    return y.isdigit() and m.isdigit() and d.isdigit()
+
+
+def unify_types(a: DataType, b: DataType) -> DataType:
+    """Least common type of two data types (used for union schemas)."""
+    if a == b:
+        return a
+    if DataType.NULL in (a, b):
+        return b if a is DataType.NULL else a
+    if DataType.ANY in (a, b):
+        return DataType.ANY
+    if a.is_numeric and b.is_numeric:
+        return DataType.FLOAT if DataType.FLOAT in (a, b) else DataType.INT
+    if a.is_textual and b.is_textual:
+        return DataType.STR
+    return DataType.ANY
+
+
+def unify_all(types: Iterable[DataType]) -> DataType:
+    """Least common type of an iterable of data types."""
+    result: Optional[DataType] = None
+    for t in types:
+        result = t if result is None else unify_types(result, t)
+    return result if result is not None else DataType.NULL
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition in a table schema.
+
+    Attributes:
+        name: the bare column name (no table qualifier).
+        dtype: the declared data type.
+        primary_key: whether this column uniquely identifies rows; used by the
+            visualization mapping layer to validate functional-dependency
+            constraints (e.g. a bar chart requires x → y).
+    """
+
+    name: str
+    dtype: DataType
+    primary_key: bool = False
+
+    def qualified(self, table: str) -> str:
+        """The fully qualified column name ``table.name``."""
+        return f"{table}.{self.name}"

@@ -1,0 +1,108 @@
+"""Difftrees: choice-node-extended ASTs, schemas, bindings and resolution.
+
+This package implements Section 3 of the paper: the :class:`Difftree`
+structure with its four choice-node types, the PI2 type system, node / result
+schema inference, query-binding derivation and resolution back to SQL.
+"""
+
+from .builder import (
+    cluster_by_result_schema,
+    initial_difftrees,
+    merge_difftrees,
+    parse_queries,
+    split_difftree,
+)
+from .match import expresses, match_query
+from .nodes import (
+    AnyNode,
+    ChoiceNode,
+    MultiNode,
+    OptNode,
+    SubsetNode,
+    ValNode,
+    choice_nodes,
+    dynamic_nodes,
+    is_choice_node,
+    is_dynamic,
+    make_choice,
+    make_opt,
+    next_node_id,
+)
+from .resolve import (
+    Derivation,
+    FlatBindingSource,
+    NodeBinding,
+    QueueBindingSource,
+    ResolutionError,
+    default_param,
+    expressible_asts,
+    resolve,
+    resolve_with_derivation,
+)
+from .schema import (
+    OptExpr,
+    OrExpr,
+    RepExpr,
+    ResultAttribute,
+    ResultSchema,
+    SchemaExpr,
+    TupleSchema,
+    TypeAnnotator,
+    TypeExpr,
+    WildcardExpr,
+    node_schema,
+    result_schema_for_queries,
+    result_schema_of_result,
+    schema_of_types,
+    union_result_schemas,
+)
+from .tree import Difftree
+from .types import PiType, union_types
+
+__all__ = [
+    "AnyNode",
+    "ChoiceNode",
+    "Derivation",
+    "Difftree",
+    "FlatBindingSource",
+    "MultiNode",
+    "NodeBinding",
+    "OptExpr",
+    "OptNode",
+    "OrExpr",
+    "PiType",
+    "QueueBindingSource",
+    "RepExpr",
+    "ResolutionError",
+    "ResultAttribute",
+    "ResultSchema",
+    "SchemaExpr",
+    "SubsetNode",
+    "TupleSchema",
+    "TypeAnnotator",
+    "TypeExpr",
+    "ValNode",
+    "WildcardExpr",
+    "choice_nodes",
+    "cluster_by_result_schema",
+    "default_param",
+    "dynamic_nodes",
+    "expresses",
+    "expressible_asts",
+    "initial_difftrees",
+    "is_choice_node",
+    "is_dynamic",
+    "make_choice",
+    "make_opt",
+    "match_query",
+    "merge_difftrees",
+    "next_node_id",
+    "node_schema",
+    "parse_queries",
+    "result_schema_for_queries",
+    "result_schema_of_result",
+    "schema_of_types",
+    "split_difftree",
+    "union_result_schemas",
+    "union_types",
+]

@@ -1,0 +1,124 @@
+"""Building the initial Difftrees from an input query sequence.
+
+The MCTS search (Section 6.2) starts from one Difftree per input query (a
+plain AST), then applies transformation rules — Merge, Partition, PushANY,
+… — to discover better structures.  This module provides that initial state
+plus the helpers the Merge / Partition rules rely on: merging a set of trees
+under a fresh ``ANY`` root and clustering trees by result-schema
+compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..database.executor import Executor
+from ..sqlparser.ast_nodes import Node
+from ..sqlparser.parser import parse
+from .nodes import AnyNode
+from .schema import union_result_schemas
+from .tree import Difftree
+
+QueryLike = Union[str, Node]
+
+
+def parse_queries(queries: Sequence[QueryLike]) -> list[Node]:
+    """Parse a mixed list of SQL strings / pre-parsed ASTs into ASTs."""
+    asts: list[Node] = []
+    for q in queries:
+        asts.append(parse(q) if isinstance(q, str) else q)
+    return asts
+
+
+def initial_difftrees(queries: Sequence[QueryLike]) -> list[Difftree]:
+    """One static Difftree per input query (the search's root state)."""
+    asts = parse_queries(queries)
+    return [Difftree(ast.copy(), [ast]) for ast in asts]
+
+
+def merge_difftrees(trees: Sequence[Difftree]) -> Difftree:
+    """Merge several Difftrees into one rooted at a fresh ANY node.
+
+    The merged tree is responsible for every query of its inputs; the ANY
+    root chooses between the original roots (the Merge cross-tree rule in
+    Figure 13).  Single-tree merges return a copy unchanged.
+    """
+    if not trees:
+        raise ValueError("cannot merge an empty list of Difftrees")
+    if len(trees) == 1:
+        return trees[0].copy()
+    roots = [t.root.copy() for t in trees]
+    queries: list[Node] = []
+    for t in trees:
+        queries.extend(t.queries)
+    return Difftree(AnyNode(roots), queries)
+
+
+def split_difftree(tree: Difftree) -> list[Difftree]:
+    """Split a Difftree rooted at an ANY node into one tree per child.
+
+    Each resulting tree keeps the subset of input queries it can express (the
+    Split cross-tree rule).  Trees that cannot express any query keep the
+    full query list so they are never silently dropped.
+    """
+    root = tree.root
+    if not isinstance(root, AnyNode):
+        return [tree.copy()]
+    result = []
+    for child in root.children:
+        sub = Difftree(child.copy(), tree.queries)
+        expressible = sub.expressible_queries()
+        result.append(Difftree(child.copy(), expressible or tree.queries))
+    return result
+
+
+def cluster_by_result_schema(
+    trees: Iterable[Difftree], executor: Executor, strict: bool = True
+) -> list[list[Difftree]]:
+    """Group Difftrees whose result schemas are union compatible.
+
+    The paper uses this as the initial Partition: clustering queries by
+    result schema reduces redundant visualizations and maximises the chance
+    of non-tabular visualization mappings.
+
+    With ``strict=True`` (the default for the *initial* clustering), two
+    schemas are additionally required to project the same base attributes in
+    every non-aggregate position — queries that group by *different*
+    attributes (the cross-filter workload's hour / delay / dist histograms)
+    then start as separate Difftrees / views, which is how the paper's
+    Figure 14d interface is structured.  The Merge transformation rule can
+    still join them later if the search decides a single view is cheaper.
+    """
+    clusters: list[list[Difftree]] = []
+    cluster_schemas: list = []
+    for tree in trees:
+        schema = tree.result_schema(executor)
+        placed = False
+        for i, existing in enumerate(cluster_schemas):
+            if schema is None or existing is None:
+                continue
+            if strict and not _same_attribute_sources(existing, schema):
+                continue
+            merged = union_result_schemas([existing, schema])
+            if merged is not None:
+                clusters[i].append(tree)
+                cluster_schemas[i] = merged
+                placed = True
+                break
+        if not placed:
+            clusters.append([tree])
+            cluster_schemas.append(schema)
+    return clusters
+
+
+def _same_attribute_sources(a, b) -> bool:
+    """True when two result schemas project the same base attributes
+    position-by-position (aggregate columns are exempt)."""
+    if a.arity() != b.arity():
+        return False
+    for attr_a, attr_b in zip(a.attributes, b.attributes):
+        if attr_a.is_aggregate and attr_b.is_aggregate:
+            continue
+        if set(attr_a.sources) != set(attr_b.sources):
+            return False
+    return True

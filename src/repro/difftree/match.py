@@ -1,0 +1,263 @@
+"""Matching input-query ASTs against a Difftree to derive query bindings.
+
+Section 3.2.4 of the paper requires, for every dynamic node, the set of
+*query bindings* needed for the Difftree to express each input query: these
+bindings initialise widgets and are the ground truth for the safety check of
+visualization interactions.
+
+Matching is a recursive, backtracking derivation: a Difftree node matches an
+AST node (or a *sequence* of sibling AST nodes, because MULTI / SUBSET / OPT
+splice a variable number of subtrees into their parent's child list).  The
+result of a successful match is a :class:`Derivation` — the bindings, in
+depth-first expansion order, under which :func:`repro.difftree.resolve.resolve`
+reproduces the query exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sqlparser.ast_nodes import L, Node
+from .nodes import (
+    AnyNode,
+    ChoiceNode,
+    MultiNode,
+    OptNode,
+    SubsetNode,
+    ValNode,
+)
+from .resolve import Derivation, NodeBinding
+from .types import PiType
+
+#: Cap on backtracking work per match, to keep worst-case inputs bounded.
+#: MULTI / SUBSET-heavy trees can make backtracking expensive; the cap trades
+#: a small amount of completeness (a capped match counts as "no match") for a
+#: bounded per-query verification cost during the search.
+_MAX_STEPS = 40_000
+
+
+class _Budget:
+    """Shared step counter so pathological matches fail fast instead of hanging."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self) -> None:
+        self.steps = 0
+
+    def tick(self) -> bool:
+        self.steps += 1
+        return self.steps <= _MAX_STEPS
+
+
+def match_query(root: Node, query_ast: Node) -> Optional[Derivation]:
+    """Match an input query AST against a Difftree.
+
+    Returns the :class:`Derivation` of bindings (in DFS expansion order) when
+    the Difftree expresses the query, or ``None`` otherwise.
+    """
+    budget = _Budget()
+    bindings = _match_node(root, query_ast, budget)
+    if bindings is None:
+        return None
+    return Derivation(bindings)
+
+
+def expresses(root: Node, query_ast: Node) -> bool:
+    """True when the Difftree can express the given query."""
+    return match_query(root, query_ast) is not None
+
+
+# ---------------------------------------------------------------------------
+# node-level matching
+# ---------------------------------------------------------------------------
+
+
+def _match_node(dt: Node, ast: Node, budget: _Budget) -> Optional[list[NodeBinding]]:
+    """Match one Difftree node against one AST node."""
+    if not budget.tick():
+        return None
+
+    if isinstance(dt, ValNode):
+        return _match_val(dt, ast)
+
+    if isinstance(dt, OptNode):
+        sub = _match_node(dt.child, ast, budget)
+        if sub is None:
+            return None
+        return [NodeBinding(dt.node_id, "opt", True), *sub]
+
+    if isinstance(dt, MultiNode):
+        # a MULTI matched against a single node is one repetition of its child
+        sub = _match_node(dt.template, ast, budget)
+        if sub is None:
+            return None
+        return [NodeBinding(dt.node_id, "multi", 1), *sub]
+
+    if isinstance(dt, SubsetNode):
+        for idx, child in enumerate(dt.children):
+            sub = _match_node(child, ast, budget)
+            if sub is not None:
+                return [NodeBinding(dt.node_id, "subset", (idx,)), *sub]
+        return None
+
+    if isinstance(dt, ChoiceNode):  # ANY (possibly with an EMPTY child)
+        for idx, child in enumerate(dt.children):
+            if child.label == L.EMPTY:
+                continue
+            sub = _match_node(child, ast, budget)
+            if sub is not None:
+                return [NodeBinding(dt.node_id, "any", idx), *sub]
+        return None
+
+    # plain node: labels and values must agree, children match as a sequence
+    if dt.label != ast.label or dt.value != ast.value:
+        return None
+    return _match_sequence(dt.children, list(ast.children), budget)
+
+
+def _match_val(dt: ValNode, ast: Node) -> Optional[list[NodeBinding]]:
+    """A VAL node matches any literal whose type fits the VAL's domain."""
+    if ast.label == L.LITERAL_NUM:
+        value_type = PiType.num()
+        value = ast.value
+    elif ast.label == L.LITERAL_STR:
+        value_type = PiType.str_()
+        value = ast.value
+    elif ast.label == L.LITERAL_BOOL:
+        value_type = PiType.num()
+        value = ast.value
+    else:
+        return None
+    domain = dt.pitype or PiType.str_()
+    if not value_type.compatible_with(domain.primitive()):
+        return None
+    return [NodeBinding(dt.node_id, "val", value)]
+
+
+# ---------------------------------------------------------------------------
+# sequence matching (handles splicing choice nodes)
+# ---------------------------------------------------------------------------
+
+
+def _match_sequence(
+    dt_children: list[Node], ast_children: list[Node], budget: _Budget
+) -> Optional[list[NodeBinding]]:
+    """Match an ordered list of Difftree children against AST children.
+
+    MULTI consumes any number (>=1 when it must, but 0 is allowed only through
+    an enclosing OPT), SUBSET consumes an ordered subset, OPT consumes zero or
+    one; every other node consumes exactly one AST child.
+    """
+    if not budget.tick():
+        return None
+
+    if not dt_children:
+        return [] if not ast_children else None
+
+    head, rest = dt_children[0], dt_children[1:]
+
+    if isinstance(head, MultiNode):
+        # try the longest repetition first so greedy lists (e.g. conjunction
+        # predicates) match naturally; backtrack to shorter ones when needed
+        max_take = len(ast_children)
+        for take in range(max_take, 0, -1):
+            repetition_bindings: list[NodeBinding] = []
+            ok = True
+            for item in ast_children[:take]:
+                sub = _match_node(head.template, item, budget)
+                if sub is None:
+                    ok = False
+                    break
+                repetition_bindings.extend(sub)
+            if not ok:
+                continue
+            tail = _match_sequence(rest, ast_children[take:], budget)
+            if tail is not None:
+                return [
+                    NodeBinding(head.node_id, "multi", take),
+                    *repetition_bindings,
+                    *tail,
+                ]
+        return None
+
+    if isinstance(head, SubsetNode):
+        return _match_subset(head, rest, ast_children, budget)
+
+    if isinstance(head, OptNode):
+        if ast_children:
+            sub = _match_node(head.child, ast_children[0], budget)
+            if sub is not None:
+                tail = _match_sequence(rest, ast_children[1:], budget)
+                if tail is not None:
+                    return [NodeBinding(head.node_id, "opt", True), *sub, *tail]
+        tail = _match_sequence(rest, ast_children, budget)
+        if tail is not None:
+            return [NodeBinding(head.node_id, "opt", False), *tail]
+        return None
+
+    if isinstance(head, AnyNode) and head.is_opt:
+        # ANY with an EMPTY child may consume zero children
+        if ast_children:
+            for idx, child in enumerate(head.children):
+                if child.label == L.EMPTY:
+                    continue
+                sub = _match_node(child, ast_children[0], budget)
+                if sub is None:
+                    continue
+                tail = _match_sequence(rest, ast_children[1:], budget)
+                if tail is not None:
+                    return [NodeBinding(head.node_id, "any", idx), *sub, *tail]
+        empty_idx = next(
+            i for i, c in enumerate(head.children) if c.label == L.EMPTY
+        )
+        tail = _match_sequence(rest, ast_children, budget)
+        if tail is not None:
+            return [NodeBinding(head.node_id, "any", empty_idx), *tail]
+        return None
+
+    # every other node consumes exactly one AST child
+    if not ast_children:
+        return None
+    sub = _match_node(head, ast_children[0], budget)
+    if sub is None:
+        return None
+    tail = _match_sequence(rest, ast_children[1:], budget)
+    if tail is None:
+        return None
+    return [*sub, *tail]
+
+
+def _match_subset(
+    head: SubsetNode,
+    rest: list[Node],
+    ast_children: list[Node],
+    budget: _Budget,
+) -> Optional[list[NodeBinding]]:
+    """Match a SUBSET head: choose an ordered subset of its children."""
+
+    def recurse(
+        child_idx: int, ast_idx: int, chosen: tuple[int, ...], collected: list[NodeBinding]
+    ) -> Optional[list[NodeBinding]]:
+        if not budget.tick():
+            return None
+        if child_idx == len(head.children):
+            tail = _match_sequence(rest, ast_children[ast_idx:], budget)
+            if tail is None:
+                return None
+            return [NodeBinding(head.node_id, "subset", chosen), *collected, *tail]
+        # option 1: include this subset child (it must match the next AST node)
+        if ast_idx < len(ast_children):
+            sub = _match_node(head.children[child_idx], ast_children[ast_idx], budget)
+            if sub is not None:
+                result = recurse(
+                    child_idx + 1,
+                    ast_idx + 1,
+                    chosen + (child_idx,),
+                    collected + sub,
+                )
+                if result is not None:
+                    return result
+        # option 2: skip this subset child
+        return recurse(child_idx + 1, ast_idx, chosen, collected)
+
+    return recurse(0, 0, tuple(), [])

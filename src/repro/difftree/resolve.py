@@ -1,0 +1,298 @@
+"""Resolving Difftrees to plain ASTs under choice-node bindings.
+
+Section 3.1 of the paper defines how each choice node resolves when bound to
+parameters: ``ANY`` picks one child, ``VAL`` becomes the bound literal,
+``MULTI`` repeats its child once per parameterisation and ``SUBSET`` keeps the
+chosen children.  Because MULTI/SUBSET/OPT splice a *variable number* of
+subtrees into their parent's child list, resolution is implemented as a
+recursive expansion that returns lists of nodes which the parent concatenates.
+
+Two binding sources are provided:
+
+* :class:`QueueBindingSource` replays a :class:`Derivation` (produced by the
+  matcher) exactly — used to verify that a Difftree expresses an input query.
+* :class:`FlatBindingSource` maps ``node_id`` to the *current* parameter of
+  each choice node (the interface runtime's state) and falls back to defaults
+  for unseen nodes — used when the user manipulates the generated interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..sqlparser.ast_nodes import L, Node, literal_num, literal_str
+from .nodes import AnyNode, ChoiceNode, MultiNode, OptNode, SubsetNode, ValNode
+
+
+class ResolutionError(Exception):
+    """Raised when a Difftree cannot be resolved under the given bindings."""
+
+
+@dataclass
+class NodeBinding:
+    """The parameter bound to one *instantiation* of a choice node.
+
+    ``param`` meaning per kind:
+
+    * ``ANY``   — integer child index
+    * ``OPT``   — bool (present or absent)
+    * ``VAL``   — the literal value
+    * ``MULTI`` — integer repetition count
+    * ``SUBSET``— tuple of selected child indices
+    """
+
+    node_id: int
+    kind: str
+    param: object
+
+
+@dataclass
+class Derivation:
+    """A sequence of :class:`NodeBinding` in depth-first expansion order.
+
+    A derivation captures everything needed to resolve a Difftree into one
+    concrete AST; the matcher produces one derivation per input query.
+    """
+
+    bindings: list[NodeBinding] = field(default_factory=list)
+
+    def params_for(self, node_id: int) -> list[object]:
+        """All parameters bound to ``node_id`` across the derivation."""
+        return [b.param for b in self.bindings if b.node_id == node_id]
+
+    def __iter__(self):
+        return iter(self.bindings)
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+
+# ---------------------------------------------------------------------------
+# binding sources
+# ---------------------------------------------------------------------------
+
+
+class BindingSource:
+    """Provides the parameter for each choice node encountered while resolving."""
+
+    def next_param(self, node: ChoiceNode) -> object:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class QueueBindingSource(BindingSource):
+    """Replays a derivation in order, validating node identities."""
+
+    def __init__(self, derivation: Derivation) -> None:
+        self._queue = list(derivation.bindings)
+        self._pos = 0
+
+    def next_param(self, node: ChoiceNode) -> object:
+        if self._pos >= len(self._queue):
+            raise ResolutionError(
+                f"derivation exhausted at choice node {node.label}#{node.node_id}"
+            )
+        binding = self._queue[self._pos]
+        if binding.node_id != node.node_id:
+            raise ResolutionError(
+                f"derivation mismatch: expected node {binding.node_id}, "
+                f"got {node.label}#{node.node_id}"
+            )
+        self._pos += 1
+        return binding.param
+
+    @property
+    def fully_consumed(self) -> bool:
+        return self._pos == len(self._queue)
+
+
+class FlatBindingSource(BindingSource):
+    """Current interface state: one parameter per choice node id.
+
+    Unbound nodes resolve to a sensible default (first child, first observed
+    literal, single repetition, all subset children), which mirrors how the
+    generated interface initialises its widgets.  A parameter given as a
+    *list* is consumed sequentially across the node's instantiations (needed
+    when the node sits below a MULTI and is expanded several times); tuples
+    are treated as single parameters (e.g. SUBSET index sets).
+    """
+
+    def __init__(self, params: Optional[dict[int, object]] = None) -> None:
+        self.params = dict(params or {})
+        self._cursors: dict[int, int] = {}
+
+    def set(self, node_id: int, param: object) -> None:
+        self.params[node_id] = param
+        self._cursors.pop(node_id, None)
+
+    def next_param(self, node: ChoiceNode) -> object:
+        if node.node_id not in self.params:
+            return default_param(node)
+        param = self.params[node.node_id]
+        if isinstance(param, list):
+            if not param:
+                return default_param(node)
+            cursor = self._cursors.get(node.node_id, 0)
+            self._cursors[node.node_id] = cursor + 1
+            return param[cursor % len(param)]
+        return param
+
+
+def default_param(node: ChoiceNode) -> object:
+    """The default binding used when a choice node has no explicit parameter."""
+    if isinstance(node, ValNode):
+        values = node.observed_values()
+        return values[0] if values else 0
+    if isinstance(node, OptNode):
+        return True
+    if isinstance(node, MultiNode):
+        return 1
+    if isinstance(node, SubsetNode):
+        return tuple(range(len(node.children)))
+    # ANY (including the empty-child OPT form): first non-empty child
+    for i, child in enumerate(node.children):
+        if child.label != L.EMPTY:
+            return i
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve(root: Node, source: BindingSource) -> Node:
+    """Resolve a Difftree to a plain AST using the given binding source."""
+    expanded = _expand(root, source)
+    if len(expanded) != 1:
+        raise ResolutionError(
+            f"root node expanded to {len(expanded)} subtrees; expected exactly 1"
+        )
+    return expanded[0]
+
+
+def resolve_with_derivation(root: Node, derivation: Derivation) -> Node:
+    """Resolve using an exact derivation (raises if bindings do not line up)."""
+    source = QueueBindingSource(derivation)
+    result = resolve(root, source)
+    if not source.fully_consumed:
+        raise ResolutionError("derivation has unused bindings")
+    return result
+
+
+def _expand(node: Node, source: BindingSource) -> list[Node]:
+    """Expand a Difftree node into zero or more plain AST nodes."""
+    if isinstance(node, ValNode):
+        value = source.next_param(node)
+        return [_literal_for(value)]
+
+    if isinstance(node, OptNode):
+        present = bool(source.next_param(node))
+        return _expand(node.child, source) if present else []
+
+    if isinstance(node, MultiNode):
+        count = int(source.next_param(node))
+        result: list[Node] = []
+        for _ in range(max(0, count)):
+            result.extend(_expand(node.template, source))
+        return result
+
+    if isinstance(node, SubsetNode):
+        indices = source.next_param(node)
+        chosen = []
+        for idx in indices:
+            if not 0 <= int(idx) < len(node.children):
+                raise ResolutionError(
+                    f"SUBSET index {idx} out of range for node #{node.node_id}"
+                )
+            chosen.extend(_expand(node.children[int(idx)], source))
+        return chosen
+
+    if isinstance(node, AnyNode) or (
+        isinstance(node, ChoiceNode) and node.label == L.ANY
+    ):
+        idx = int(source.next_param(node))
+        if not 0 <= idx < len(node.children):
+            raise ResolutionError(
+                f"ANY index {idx} out of range for node #{node.node_id}"
+            )
+        return _expand(node.children[idx], source)
+
+    if node.label == L.EMPTY:
+        return []
+
+    # plain AST node: expand children and splice the results
+    new_children: list[Node] = []
+    for child in node.children:
+        new_children.extend(_expand(child, source))
+    return [Node(node.label, node.value, new_children)]
+
+
+def _literal_for(value: object) -> Node:
+    """Build a literal AST node for a bound VAL value."""
+    if isinstance(value, Node):
+        return value.copy()
+    if isinstance(value, bool):
+        return Node(L.LITERAL_BOOL, value)
+    if isinstance(value, (int, float)):
+        return literal_num(value)
+    return literal_str(str(value))
+
+
+def expressible_asts(
+    root: Node, max_results: int = 64
+) -> Iterable[Node]:
+    """Enumerate a bounded number of ASTs expressible by a Difftree.
+
+    Used by tests and property checks: enumeration walks the choice space in
+    a deterministic order (first children first, MULTI limited to 1–2
+    repetitions, VAL limited to its observed literals).
+    """
+    results: list[Node] = []
+
+    def enumerate_node(node: Node) -> list[list[Node]]:
+        """Return the list of possible expansions (each a list of nodes)."""
+        if len(results) >= max_results:
+            return []
+        if isinstance(node, ValNode):
+            values = node.observed_values() or [0]
+            return [[_literal_for(v)] for v in values]
+        if isinstance(node, OptNode):
+            return [e for e in enumerate_node(node.child)] + [[]]
+        if isinstance(node, MultiNode):
+            singles = enumerate_node(node.template)
+            doubles = [a + b for a in singles for b in singles]
+            return singles + doubles
+        if isinstance(node, SubsetNode):
+            options: list[list[Node]] = [[]]
+            for child in node.children:
+                child_exps = enumerate_node(child)
+                options = [
+                    prefix + chosen
+                    for prefix in options
+                    for chosen in ([[]] + child_exps)
+                ]
+            return options
+        if isinstance(node, ChoiceNode):  # ANY
+            expansions: list[list[Node]] = []
+            for child in node.children:
+                expansions.extend(enumerate_node(child))
+            return expansions
+        if node.label == L.EMPTY:
+            return [[]]
+        if not node.children:
+            return [[node.copy()]]
+        child_options = [enumerate_node(c) for c in node.children]
+        combos: list[list[Node]] = [[]]
+        for options in child_options:
+            combos = [
+                prefix + option for prefix in combos for option in options
+            ][: max_results * 4]
+        return [[Node(node.label, node.value, combo)] for combo in combos]
+
+    for expansion in enumerate_node(root):
+        if len(expansion) == 1:
+            results.append(expansion[0])
+            if len(results) >= max_results:
+                break
+    return results

@@ -1,0 +1,529 @@
+"""Schema inference for Difftrees (paper Section 3.2).
+
+Three related pieces live here:
+
+* **Type annotation** of static nodes (:class:`TypeAnnotator`): literals get
+  primitive types, attribute names are looked up in the catalogue, and the
+  paper's heuristic specialises literals compared against an attribute to
+  that attribute's type (``a = 1`` gives ``1`` the type ``T.a``).
+* **Node schemas** for dynamic nodes (:func:`node_schema`): nested type
+  expressions over ``|`` (or), ``?`` (optional) and ``*`` (repetition) that
+  describe the structural variation a choice node expresses.  Interaction
+  mapping is a schema match between these and widget/interaction schemas.
+* **Result schemas** (:func:`result_schema_for_queries`): the union-compatible
+  output schema of the ASTs a Difftree expresses, used for visualization
+  mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..database.catalog import Catalog
+from ..database.executor import Executor
+from ..database.table import ResultTable
+from ..database.types import DataType
+from ..sqlparser.ast_nodes import L, Node
+from .nodes import (
+    AnyNode,
+    ChoiceNode,
+    MultiNode,
+    OptNode,
+    SubsetNode,
+    ValNode,
+    is_dynamic,
+)
+from .types import PiType, union_types
+
+
+# ---------------------------------------------------------------------------
+# schema expressions
+# ---------------------------------------------------------------------------
+
+
+class SchemaExpr:
+    """Base class of node-schema type expressions."""
+
+    def compatible_with(self, other: "SchemaExpr") -> bool:
+        """Structural compatibility used by interaction schema matching."""
+        raise NotImplementedError
+
+    def flatten_types(self) -> list[PiType]:
+        """All primitive/attribute types mentioned in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TypeExpr(SchemaExpr):
+    """A single type."""
+
+    pitype: PiType
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        if isinstance(other, WildcardExpr):
+            return True
+        if isinstance(other, TypeExpr):
+            return self.pitype.compatible_with(other.pitype)
+        return False
+
+    def flatten_types(self) -> list[PiType]:
+        return [self.pitype]
+
+    def __str__(self) -> str:
+        return str(self.pitype)
+
+
+@dataclass(frozen=True)
+class WildcardExpr(SchemaExpr):
+    """The ``_`` wildcard used by widget schemas: matches any expression."""
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        return True
+
+    def flatten_types(self) -> list[PiType]:
+        return []
+
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class OrExpr(SchemaExpr):
+    """Ordered choice between expressions (the ``|`` operator)."""
+
+    options: tuple[SchemaExpr, ...]
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        if isinstance(other, WildcardExpr):
+            return True
+        if isinstance(other, OrExpr):
+            return len(self.options) == len(other.options) and all(
+                a.compatible_with(b) for a, b in zip(self.options, other.options)
+            )
+        # an OR is compatible with a single expression when every option is
+        return all(opt.compatible_with(other) for opt in self.options)
+
+    def flatten_types(self) -> list[PiType]:
+        return [t for opt in self.options for t in opt.flatten_types()]
+
+    def __str__(self) -> str:
+        return "|".join(str(o) for o in self.options)
+
+
+@dataclass(frozen=True)
+class OptExpr(SchemaExpr):
+    """Existential / optional expression (the ``?`` operator)."""
+
+    inner: SchemaExpr
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        if isinstance(other, WildcardExpr):
+            return True
+        if isinstance(other, OptExpr):
+            return self.inner.compatible_with(other.inner)
+        return False
+
+    def flatten_types(self) -> list[PiType]:
+        return self.inner.flatten_types()
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+@dataclass(frozen=True)
+class RepExpr(SchemaExpr):
+    """Repetition expression (the ``*`` operator)."""
+
+    inner: SchemaExpr
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        if isinstance(other, WildcardExpr):
+            return True
+        if isinstance(other, RepExpr):
+            return self.inner.compatible_with(other.inner)
+        return False
+
+    def flatten_types(self) -> list[PiType]:
+        return self.inner.flatten_types()
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+@dataclass(frozen=True)
+class TupleSchema(SchemaExpr):
+    """A node schema ``< e1, ..., en >``: a list of type expressions."""
+
+    exprs: tuple[SchemaExpr, ...]
+
+    def compatible_with(self, other: SchemaExpr) -> bool:
+        if isinstance(other, WildcardExpr):
+            return True
+        if isinstance(other, TupleSchema):
+            if len(self.exprs) != len(other.exprs):
+                return False
+            return all(
+                a.compatible_with(b) for a, b in zip(self.exprs, other.exprs)
+            )
+        if len(self.exprs) == 1:
+            return self.exprs[0].compatible_with(other)
+        return False
+
+    def flatten_types(self) -> list[PiType]:
+        return [t for e in self.exprs for t in e.flatten_types()]
+
+    def arity(self) -> int:
+        return len(self.exprs)
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(e) for e in self.exprs) + ">"
+
+
+def schema_of_types(*types: PiType) -> TupleSchema:
+    """Convenience constructor: a tuple schema of plain types."""
+    return TupleSchema(tuple(TypeExpr(t) for t in types))
+
+
+# ---------------------------------------------------------------------------
+# static type annotation
+# ---------------------------------------------------------------------------
+
+
+class TypeAnnotator:
+    """Annotates static nodes of a (Diff)tree with PI2 types.
+
+    The annotator resolves attribute names through the catalogue, restricted
+    to the tables referenced by the tree's FROM clauses (including aliases),
+    and applies the paper's specialisation heuristic for comparison
+    expressions of the form ``attr <op> literal``.
+    """
+
+    def __init__(self, catalog: Optional[Catalog]) -> None:
+        self.catalog = catalog
+        self._types: dict[int, PiType] = {}
+        self._alias_map: dict[str, str] = {}
+        self._tables: list[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def annotate(self, root: Node) -> None:
+        """Compute types for every node in the tree (cached by identity)."""
+        self._collect_scope(root)
+        self._annotate_node(root)
+        self._specialise_literals(root)
+
+    def type_of(self, node: Node) -> PiType:
+        """The inferred type of a node (``AST`` when not annotated)."""
+        return self._types.get(id(node), PiType.ast())
+
+    def attribute_of(self, node: Node) -> Optional[str]:
+        """Fully qualified attribute for a COLUMN node, if resolvable."""
+        if node.label != L.COLUMN:
+            return None
+        return self._resolve_column(str(node.value))
+
+    # -- scope ------------------------------------------------------------------
+
+    def _collect_scope(self, root: Node) -> None:
+        for node in root.walk():
+            if node.label == L.TABLE_REF and node.children:
+                source = node.children[0]
+                alias = None
+                if len(node.children) > 1 and node.children[1].label == L.ALIAS:
+                    alias = str(node.children[1].value)
+                if source.label == L.TABLE_NAME:
+                    table = str(source.value)
+                    self._tables.append(table)
+                    if alias:
+                        self._alias_map[alias.lower()] = table
+            elif node.label == L.TABLE_NAME:
+                self._tables.append(str(node.value))
+
+    def _resolve_column(self, name: str) -> Optional[str]:
+        if self.catalog is None:
+            return None
+        lookup = name
+        if "." in name:
+            qualifier, bare = name.split(".", 1)
+            table = self._alias_map.get(qualifier.lower(), qualifier)
+            lookup = f"{table}.{bare}"
+        return self.catalog.qualified_name(lookup, self._tables or None)
+
+    # -- base annotation ----------------------------------------------------------
+
+    def _annotate_node(self, node: Node) -> PiType:
+        for child in node.children:
+            self._annotate_node(child)
+
+        pitype = PiType.ast()
+        if node.label == L.LITERAL_NUM or node.label == L.LITERAL_BOOL:
+            pitype = PiType.num()
+        elif node.label in (L.LITERAL_STR,):
+            pitype = PiType.str_()
+        elif node.label == L.COLUMN:
+            # attribute *names* are strings (they are not attribute types
+            # themselves, see paper Example 2)
+            pitype = PiType.str_()
+        elif node.label == L.FUNC and self.catalog is not None:
+            dtype = self.catalog.function_type(str(node.value))
+            pitype = PiType.from_data_type(dtype)
+        elif node.label == L.FUNC:
+            pitype = PiType.num()
+        elif isinstance(node, ValNode) and node.pitype is not None:
+            pitype = node.pitype
+        self._types[id(node)] = pitype
+        return pitype
+
+    # -- attribute specialisation -----------------------------------------------------
+
+    def _specialise_literals(self, root: Node) -> None:
+        """Apply the ``attr = val`` heuristic (extended to comparisons, BETWEEN, IN)."""
+        for node in root.walk():
+            if node.label == L.BINOP and str(node.value) in (
+                "=",
+                "<>",
+                "!=",
+                ">",
+                "<",
+                ">=",
+                "<=",
+            ):
+                self._specialise_pair(node.children[0], node.children[1:])
+            elif node.label == L.BETWEEN:
+                self._specialise_pair(node.children[0], node.children[1:])
+            elif node.label in (L.IN_LIST,):
+                self._specialise_pair(node.children[0], node.children[1:])
+
+    def _specialise_pair(self, lhs: Node, operands: list[Node]) -> None:
+        attr = self.attribute_of(lhs)
+        if attr is None or self.catalog is None:
+            return
+        dtype = self.catalog.attribute_type(attr)
+        attr_type = PiType.attr(attr, dtype)
+        for operand in operands:
+            for descendant in operand.walk():
+                if descendant.label in (L.LITERAL_NUM, L.LITERAL_STR, L.LITERAL_BOOL):
+                    self._types[id(descendant)] = attr_type
+                elif isinstance(descendant, (ValNode, AnyNode)) and not any(
+                    c.label not in (L.LITERAL_NUM, L.LITERAL_STR, L.LITERAL_BOOL, L.EMPTY)
+                    for c in descendant.children
+                ):
+                    descendant.pitype = attr_type
+
+
+# ---------------------------------------------------------------------------
+# node schemas (paper Section 3.2.3)
+# ---------------------------------------------------------------------------
+
+
+def node_schema(node: Node, annotator: TypeAnnotator) -> SchemaExpr:
+    """Infer the schema of a dynamic node (or the type of a static node)."""
+    if not is_dynamic(node) and not isinstance(node, ChoiceNode):
+        return TypeExpr(annotator.type_of(node))
+
+    if isinstance(node, ValNode):
+        pitype = node.pitype or _val_type(node, annotator)
+        return TupleSchema((TypeExpr(pitype),))
+
+    if isinstance(node, OptNode):
+        return TupleSchema((OptExpr(_child_expr(node.child, annotator)),))
+
+    if isinstance(node, MultiNode):
+        return TupleSchema((RepExpr(_child_expr(node.template, annotator)),))
+
+    if isinstance(node, SubsetNode):
+        return TupleSchema(
+            tuple(OptExpr(_child_expr(c, annotator)) for c in node.children)
+        )
+
+    if isinstance(node, AnyNode) or (
+        isinstance(node, ChoiceNode) and node.label == L.ANY
+    ):
+        non_empty = [c for c in node.children if c.label != L.EMPTY]
+        has_empty = len(non_empty) != len(node.children)
+        if all(not c.contains_choice() for c in non_empty):
+            inner: SchemaExpr = TypeExpr(
+                union_types([annotator.type_of(c) for c in non_empty])
+            )
+        else:
+            inner = OrExpr(tuple(_child_expr(c, annotator) for c in non_empty))
+        if has_empty:
+            inner = OptExpr(inner)
+        return TupleSchema((inner,))
+
+    # dynamic non-choice node: cross product of its dynamic children's schemas
+    dynamic_children = [c for c in node.children if c.contains_choice()]
+    return TupleSchema(
+        tuple(_flatten(_child_expr(c, annotator)) for c in dynamic_children)
+    )
+
+
+def _child_expr(child: Node, annotator: TypeAnnotator) -> SchemaExpr:
+    if child.contains_choice() or isinstance(child, ChoiceNode):
+        return node_schema(child, annotator)
+    return TypeExpr(annotator.type_of(child))
+
+
+def _flatten(expr: SchemaExpr) -> SchemaExpr:
+    """Unwrap single-element tuple schemas so nesting matches the paper."""
+    if isinstance(expr, TupleSchema) and len(expr.exprs) == 1:
+        return expr.exprs[0]
+    return expr
+
+
+def _val_type(node: ValNode, annotator: TypeAnnotator) -> PiType:
+    if not node.children:
+        return PiType.str_()
+    return union_types([annotator.type_of(c) for c in node.children])
+
+
+# ---------------------------------------------------------------------------
+# result schemas (paper Section 3.2.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResultAttribute:
+    """One attribute of a Difftree's result schema.
+
+    Attributes:
+        names: the set of attribute names observed across expressible ASTs.
+        pitype: the unioned PI2 type.
+        dtype: the unioned database type (used for visual-variable matching).
+        sources: fully qualified base attributes feeding this output column.
+        is_aggregate: True when at least one query computes it by aggregation.
+        distinct_count: an upper bound of the output cardinality (max across
+            the observed query results) — used for the categorical check.
+        grouped: True when the attribute is a grouping column in every query
+            that defines it (supports FD constraint checks).
+    """
+
+    names: tuple[str, ...]
+    pitype: PiType
+    dtype: DataType
+    sources: tuple[str, ...] = ()
+    is_aggregate: bool = False
+    distinct_count: int = 0
+    grouped: bool = False
+
+    @property
+    def display_name(self) -> str:
+        return "/".join(self.names)
+
+
+@dataclass
+class ResultSchema:
+    """The result schema of a Difftree: an ordered list of attributes."""
+
+    attributes: list[ResultAttribute] = field(default_factory=list)
+    row_count: int = 0
+
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, index: int) -> ResultAttribute:
+        return self.attributes[index]
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{a.display_name}:{a.pitype}" for a in self.attributes
+        )
+        return f"<{inner}>"
+
+
+def result_schema_of_result(result: ResultTable, ast: Node) -> ResultSchema:
+    """Result schema of a single executed query."""
+    group_sources = _grouping_sources(ast)
+    attrs = []
+    for col in result.columns:
+        attrs.append(
+            ResultAttribute(
+                names=(col.name,),
+                pitype=PiType.attr(col.source, col.dtype)
+                if col.source
+                else PiType.from_data_type(col.dtype),
+                dtype=col.dtype,
+                sources=(col.source,) if col.source else (),
+                is_aggregate=col.is_aggregate,
+                distinct_count=result.distinct_count(col.name),
+                grouped=(
+                    col.source.split(".")[-1] in group_sources
+                    if col.source
+                    else False
+                ),
+            )
+        )
+    return ResultSchema(attrs, row_count=len(result.rows))
+
+
+def _grouping_sources(ast: Node) -> set[str]:
+    """Base attributes appearing in the query's (outermost) GROUP BY clause."""
+    sources: set[str] = set()
+    for clause in ast.children:
+        if clause.label == L.GROUPBY_CLAUSE:
+            for expr in clause.children:
+                for node in expr.walk():
+                    if node.label == L.COLUMN:
+                        sources.add(str(node.value).split(".")[-1])
+    return sources
+
+
+def union_result_schemas(schemas: list[ResultSchema]) -> Optional[ResultSchema]:
+    """Union-compatible combination of per-query result schemas.
+
+    Returns ``None`` when the schemas are not union compatible (different
+    arity or irreconcilable types), in which case the Difftree's result
+    schema is undefined (paper Section 3.2.2).
+    """
+    if not schemas:
+        return None
+    arity = schemas[0].arity()
+    if any(s.arity() != arity for s in schemas):
+        return None
+    attributes = []
+    for i in range(arity):
+        cols = [s.attribute(i) for s in schemas]
+        names = tuple(dict.fromkeys(n for c in cols for n in c.names))
+        pitype = union_types([c.pitype for c in cols])
+        dtype = cols[0].dtype
+        for c in cols[1:]:
+            from ..database.types import unify_types
+
+            dtype = unify_types(dtype, c.dtype)
+        if dtype is DataType.ANY:
+            return None
+        attributes.append(
+            ResultAttribute(
+                names=names,
+                pitype=pitype,
+                dtype=dtype,
+                sources=tuple(dict.fromkeys(s for c in cols for s in c.sources)),
+                is_aggregate=any(c.is_aggregate for c in cols),
+                distinct_count=max(c.distinct_count for c in cols),
+                grouped=all(c.grouped for c in cols if c.sources)
+                and any(c.grouped for c in cols),
+            )
+        )
+    return ResultSchema(attributes, row_count=max(s.row_count for s in schemas))
+
+
+def result_schema_for_queries(
+    query_asts: list[Node], executor: Executor
+) -> Optional[ResultSchema]:
+    """Result schema of the queries a Difftree must express.
+
+    Executes each query (results are cached by the executor) and unions the
+    per-query schemas; returns ``None`` when they are not union compatible.
+    """
+    schemas = []
+    for ast in query_asts:
+        try:
+            result = executor.execute(ast)
+        except Exception:
+            return None
+        schemas.append(result_schema_of_result(result, ast))
+    return union_result_schemas(schemas)

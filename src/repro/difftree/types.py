@@ -1,0 +1,129 @@
+"""PI2's lightweight type system for Difftree nodes (paper Section 3.2.1).
+
+The paper uses a trivial primitive hierarchy ``AST → str → num`` (``num``
+specialises ``str`` which specialises ``AST``) plus *attribute types*: each
+database attribute ``T.a`` is a type whose domain is the attribute's value
+domain, specialising the primitive type of the attribute.  A type ``t1`` is
+compatible with ``t2`` when ``t1``'s domain is a subset of ``t2``'s, and the
+union of two types is their least common ancestor in the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..database.types import DataType
+
+#: Primitive kind names, ordered from most general to most specific.
+KIND_AST = "AST"
+KIND_STR = "str"
+KIND_NUM = "num"
+
+_SPECIALISATION_ORDER = {KIND_AST: 0, KIND_STR: 1, KIND_NUM: 2}
+
+
+@dataclass(frozen=True)
+class PiType:
+    """A PI2 type: a primitive kind, optionally specialised to an attribute.
+
+    Attributes:
+        kind: one of ``AST``, ``str`` or ``num``.
+        attribute: fully qualified attribute name (``table.column``) when the
+            type is an attribute type, else ``None``.
+    """
+
+    kind: str
+    attribute: Optional[str] = None
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def ast() -> "PiType":
+        return PiType(KIND_AST)
+
+    @staticmethod
+    def str_() -> "PiType":
+        return PiType(KIND_STR)
+
+    @staticmethod
+    def num() -> "PiType":
+        return PiType(KIND_NUM)
+
+    @staticmethod
+    def attr(qualified: str, dtype: DataType) -> "PiType":
+        """An attribute type specialising the primitive matching ``dtype``."""
+        kind = KIND_NUM if dtype.is_numeric else KIND_STR
+        return PiType(kind, attribute=qualified)
+
+    @staticmethod
+    def from_data_type(dtype: DataType) -> "PiType":
+        if dtype.is_numeric:
+            return PiType.num()
+        if dtype in (DataType.STR, DataType.DATE):
+            return PiType.str_()
+        return PiType.ast()
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.attribute is not None
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == KIND_NUM
+
+    def primitive(self) -> "PiType":
+        """The primitive (non-attribute) ancestor of this type."""
+        return PiType(self.kind)
+
+    def compatible_with(self, other: "PiType") -> bool:
+        """True when this type's domain is a subset of ``other``'s domain.
+
+        Attribute types are subsets of their primitive; ``num ⊆ str ⊆ AST``.
+        Two distinct attribute types are only compatible when equal.
+        """
+        if other.is_attribute:
+            return self == other
+        return _SPECIALISATION_ORDER[self.kind] >= _SPECIALISATION_ORDER[other.kind]
+
+    def union(self, other: "PiType") -> "PiType":
+        """Least common ancestor of the two types (paper: ``T1 ∪ T2``)."""
+        if self == other:
+            return self
+        if self.is_attribute and other.is_attribute:
+            # different attributes: keep the union as the shared primitive,
+            # remembering both attributes is handled at the schema level
+            level = min(
+                _SPECIALISATION_ORDER[self.kind], _SPECIALISATION_ORDER[other.kind]
+            )
+            return PiType(_kind_at(level))
+        if self.is_attribute:
+            return self.primitive().union(other)
+        if other.is_attribute:
+            return self.union(other.primitive())
+        level = min(
+            _SPECIALISATION_ORDER[self.kind], _SPECIALISATION_ORDER[other.kind]
+        )
+        return PiType(_kind_at(level))
+
+    def __str__(self) -> str:
+        return self.attribute if self.attribute else self.kind
+
+
+def _kind_at(level: int) -> str:
+    for kind, lvl in _SPECIALISATION_ORDER.items():
+        if lvl == level:
+            return kind
+    return KIND_AST
+
+
+def union_types(types: list[PiType]) -> PiType:
+    """Union (least common ancestor) of a non-empty list of types."""
+    if not types:
+        return PiType.ast()
+    result = types[0]
+    for t in types[1:]:
+        result = result.union(t)
+    return result

@@ -1,0 +1,27 @@
+"""Interface model, headless interactive runtime and HTML/JSON export."""
+
+from .export import export_html, interface_to_html, interface_to_json
+from .runtime import EventRecord, InterfaceRuntime, ViewState
+from .spec import (
+    AppliedInteraction,
+    AppliedWidget,
+    CostBreakdown,
+    Interface,
+    Mapping,
+    View,
+)
+
+__all__ = [
+    "AppliedInteraction",
+    "AppliedWidget",
+    "CostBreakdown",
+    "EventRecord",
+    "Interface",
+    "InterfaceRuntime",
+    "Mapping",
+    "View",
+    "ViewState",
+    "export_html",
+    "interface_to_html",
+    "interface_to_json",
+]

@@ -1,0 +1,206 @@
+"""Export generated interfaces to self-contained HTML and JSON.
+
+The exporter is the offline stand-in for the paper's browser front end: it
+produces a static HTML page showing, per view, the chart (rendered as inline
+SVG from the current query result), the widgets with their options, and the
+interactions the chart supports.  The page is informational — the interactive
+behaviour itself is exercised by :mod:`repro.interface.runtime`.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Optional
+
+from ..database.table import ResultTable
+from .runtime import InterfaceRuntime
+from .spec import AppliedWidget, Interface
+
+_SVG_WIDTH = 360
+_SVG_HEIGHT = 220
+_MARGIN = 30
+
+
+def interface_to_json(interface: Interface, runtime: Optional[InterfaceRuntime] = None) -> str:
+    """A JSON document describing the interface (and runtime state, if given)."""
+    payload = interface.to_dict()
+    if runtime is not None:
+        payload["runtime"] = runtime.snapshot()
+    return json.dumps(payload, indent=2, default=str)
+
+
+def interface_to_html(
+    interface: Interface, runtime: Optional[InterfaceRuntime] = None, title: str = "PI2 interface"
+) -> str:
+    """A self-contained HTML page for the generated interface."""
+    sections = []
+    for view_index, view in enumerate(interface.views):
+        widgets_html = "".join(
+            _widget_html(w)
+            for w in interface.widgets
+            if w.view_index == view_index
+        )
+        interactions = [
+            i.candidate.interaction
+            for i in interface.interactions
+            if i.source_view_index == view_index
+        ]
+        chart_svg = ""
+        sql_text = ""
+        if runtime is not None and view_index < len(runtime.view_states):
+            state = runtime.view_states[view_index]
+            sql_text = state.sql
+            if state.result is not None:
+                chart_svg = _chart_svg(view.vis.vis_type.name, view.vis, state.result)
+        sections.append(
+            f"""
+            <section class="view">
+              <h2>View {view_index}: {html.escape(view.vis.describe())}</h2>
+              <div class="row">
+                <div class="widgets">{widgets_html or '<em>no widgets</em>'}</div>
+                <div class="chart">{chart_svg or '<em>chart preview unavailable</em>'}</div>
+              </div>
+              <p class="interactions">interactions: {html.escape(', '.join(interactions) or 'none')}</p>
+              <pre class="sql">{html.escape(sql_text)}</pre>
+            </section>
+            """
+        )
+    cost_html = ""
+    if interface.cost is not None:
+        cost_html = (
+            f"<p>cost: manipulation={interface.cost.manipulation:.1f}, "
+            f"navigation={interface.cost.navigation:.1f}, "
+            f"total={interface.cost.total:.1f}</p>"
+        )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 20px; }}
+ section.view {{ border: 1px solid #ccc; border-radius: 6px; padding: 12px; margin-bottom: 16px; }}
+ .row {{ display: flex; gap: 16px; }}
+ .widgets {{ min-width: 220px; }}
+ .widget {{ margin-bottom: 10px; padding: 6px; background: #f4f4f8; border-radius: 4px; }}
+ .sql {{ background: #f8f8f2; padding: 6px; font-size: 12px; overflow-x: auto; }}
+ .interactions {{ color: #555; font-size: 13px; }}
+</style></head>
+<body>
+<h1>{html.escape(title)}</h1>
+{cost_html}
+{''.join(sections)}
+</body></html>
+"""
+
+
+def _widget_html(widget: AppliedWidget) -> str:
+    cand = widget.candidate
+    name = html.escape(cand.widget.name)
+    label = html.escape(cand.label or "")
+    if cand.widget.name in ("slider", "range_slider") and cand.domain:
+        body = f"domain [{cand.domain[0]} .. {cand.domain[1]}]"
+    elif cand.options:
+        body = ", ".join(html.escape(str(o)) for o in cand.options[:8])
+        if len(cand.options) > 8:
+            body += ", …"
+    else:
+        body = "free input"
+    return f'<div class="widget"><strong>{name}</strong> <span>{label}</span><br/>{body}</div>'
+
+
+def _chart_svg(vis_name: str, vis, result: ResultTable) -> str:
+    """A minimal inline-SVG rendering of the first ~200 records."""
+    if not result.rows:
+        return "<em>empty result</em>"
+    if vis_name == "table":
+        return _table_html(result)
+    x_idx = vis.attribute_for("x")
+    y_idx = vis.attribute_for("y")
+    if x_idx is None or y_idx is None:
+        return _table_html(result)
+    xs = [row[x_idx] for row in result.rows[:200]]
+    ys = [row[y_idx] for row in result.rows[:200]]
+    numeric_x = all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in xs)
+    plot_w = _SVG_WIDTH - 2 * _MARGIN
+    plot_h = _SVG_HEIGHT - 2 * _MARGIN
+
+    def scale_y(v: float, lo: float, hi: float) -> float:
+        span = (hi - lo) or 1.0
+        return _SVG_HEIGHT - _MARGIN - (v - lo) / span * plot_h
+
+    y_vals = [v for v in ys if isinstance(v, (int, float))] or [0.0]
+    y_lo, y_hi = min(y_vals), max(y_vals)
+    shapes = []
+    if numeric_x:
+        x_vals = [float(v) for v in xs]
+        x_lo, x_hi = min(x_vals), max(x_vals)
+        span = (x_hi - x_lo) or 1.0
+        for xv, yv in zip(x_vals, ys):
+            if not isinstance(yv, (int, float)):
+                continue
+            px = _MARGIN + (xv - x_lo) / span * plot_w
+            py = scale_y(float(yv), y_lo, y_hi)
+            if vis_name == "line":
+                shapes.append((px, py))
+            else:
+                shapes.append((px, py))
+        if vis_name == "line" and len(shapes) > 1:
+            points = " ".join(f"{px:.1f},{py:.1f}" for px, py in sorted(shapes))
+            body = f'<polyline fill="none" stroke="#4477aa" stroke-width="1.5" points="{points}"/>'
+        else:
+            body = "".join(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="2.5" fill="#4477aa"/>'
+                for px, py in shapes
+            )
+    else:
+        categories = list(dict.fromkeys(xs))
+        bar_w = plot_w / max(1, len(categories))
+        body_parts = []
+        for i, cat in enumerate(categories):
+            values = [
+                float(yv)
+                for xv, yv in zip(xs, ys)
+                if xv == cat and isinstance(yv, (int, float))
+            ]
+            if not values:
+                continue
+            value = sum(values) / len(values)
+            py = scale_y(value, min(0.0, y_lo), y_hi)
+            height = _SVG_HEIGHT - _MARGIN - py
+            body_parts.append(
+                f'<rect x="{_MARGIN + i * bar_w + 2:.1f}" y="{py:.1f}" '
+                f'width="{max(2.0, bar_w - 4):.1f}" height="{max(0.0, height):.1f}" fill="#4477aa"/>'
+            )
+        body = "".join(body_parts)
+    axes = (
+        f'<line x1="{_MARGIN}" y1="{_SVG_HEIGHT-_MARGIN}" x2="{_SVG_WIDTH-_MARGIN}" '
+        f'y2="{_SVG_HEIGHT-_MARGIN}" stroke="#333"/>'
+        f'<line x1="{_MARGIN}" y1="{_MARGIN}" x2="{_MARGIN}" y2="{_SVG_HEIGHT-_MARGIN}" stroke="#333"/>'
+    )
+    return (
+        f'<svg width="{_SVG_WIDTH}" height="{_SVG_HEIGHT}" '
+        f'xmlns="http://www.w3.org/2000/svg">{axes}{body}</svg>'
+    )
+
+
+def _table_html(result: ResultTable, max_rows: int = 10) -> str:
+    head = "".join(f"<th>{html.escape(c)}</th>" for c in result.column_names())
+    rows = []
+    for row in result.rows[:max_rows]:
+        cells = "".join(f"<td>{html.escape(str(v))}</td>" for v in row)
+        rows.append(f"<tr>{cells}</tr>")
+    return (
+        f'<table border="1" cellpadding="3" cellspacing="0">'
+        f"<tr>{head}</tr>{''.join(rows)}</table>"
+    )
+
+
+def export_html(
+    interface: Interface,
+    path: str,
+    runtime: Optional[InterfaceRuntime] = None,
+    title: str = "PI2 interface",
+) -> str:
+    """Write the interface's HTML page to ``path`` and return the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(interface_to_html(interface, runtime, title))
+    return path

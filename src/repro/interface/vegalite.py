@@ -1,0 +1,178 @@
+"""Export generated interfaces as Vega-Lite specifications.
+
+The paper's prototype renders charts with a browser visualization stack; a
+natural interchange format for the generated designs is `Vega-Lite
+<https://vega.github.io/vega-lite/>`_, whose grammar of interactive graphics
+the paper cites (Satyanarayan et al.).  This module converts each view of an
+:class:`repro.interface.spec.Interface` into a Vega-Lite unit specification —
+mark type, encodings derived from the visualization mapping, inline data from
+the current runtime state, and parameter/selection stubs for the mapped
+visualization interactions — so the output can be dropped into any Vega-Lite
+host (a notebook, an Observable cell, a web page) for presentation-quality
+rendering.
+
+The export is intentionally one-way: the headless runtime in
+:mod:`repro.interface.runtime` remains the authoritative executor of the
+interface's behaviour; the Vega-Lite specs mirror its current state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..database.table import ResultTable
+from ..database.types import DataType
+from .runtime import InterfaceRuntime
+from .spec import Interface, View
+
+#: Vega-Lite schema URL pinned for reproducibility.
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+#: Mapping from PI2 visualization types to Vega-Lite mark types.
+_MARKS = {
+    "point": "point",
+    "bar": "bar",
+    "line": "line",
+    "table": "text",
+}
+
+#: Mapping from PI2 interaction names to Vega-Lite selection parameter stubs.
+_INTERACTION_PARAMS = {
+    "click": {"name": "click_select", "select": {"type": "point", "on": "click"}},
+    "multi-click": {
+        "name": "multi_select",
+        "select": {"type": "point", "on": "click", "toggle": True},
+    },
+    "brush-x": {"name": "brush_x", "select": {"type": "interval", "encodings": ["x"]}},
+    "brush-y": {"name": "brush_y", "select": {"type": "interval", "encodings": ["y"]}},
+    "brush-xy": {"name": "brush_xy", "select": {"type": "interval"}},
+    "pan": {"name": "pan_zoom", "select": "interval", "bind": "scales"},
+    "zoom": {"name": "pan_zoom", "select": "interval", "bind": "scales"},
+}
+
+
+def _field_type(dtype: DataType, categorical: bool) -> str:
+    """The Vega-Lite field type for a result column."""
+    if dtype is DataType.DATE:
+        return "temporal"
+    if dtype.is_numeric and not categorical:
+        return "quantitative"
+    return "nominal"
+
+
+def view_to_vegalite(
+    view: View,
+    result: Optional[ResultTable] = None,
+    max_rows: int = 500,
+) -> dict:
+    """Convert one interface view into a Vega-Lite unit specification."""
+    vis = view.vis
+    spec: dict = {
+        "$schema": VEGA_LITE_SCHEMA,
+        "description": vis.describe(),
+        "mark": _MARKS.get(vis.vis_type.name, "point"),
+        "width": vis.vis_type.width,
+        "height": vis.vis_type.height,
+    }
+
+    values: list[dict] = []
+    if result is not None:
+        values = result.to_dicts()[:max_rows]
+    spec["data"] = {"values": values}
+
+    encoding: dict = {}
+    if vis.vis_type.accepts_any_schema or vis.result_schema is None:
+        # tables are exported as a row-number / first-column text mark so the
+        # spec still renders; the HTML exporter is the better table preview
+        if result is not None and result.columns:
+            encoding["text"] = {"field": result.columns[0].name, "type": "nominal"}
+    else:
+        for attr_index, variable in vis.assignment.items():
+            attr = vis.result_schema.attribute(attr_index)
+            field_name = (
+                result.columns[attr_index].name
+                if result is not None and attr_index < len(result.columns)
+                else attr.display_name
+            )
+            categorical = variable in ("color", "shape") or (
+                not attr.dtype.is_numeric
+            )
+            channel = {
+                "x": "x",
+                "y": "y",
+                "color": "color",
+                "shape": "shape",
+                "size": "size",
+            }.get(variable, variable)
+            encoding[channel] = {
+                "field": field_name,
+                "type": _field_type(attr.dtype, categorical),
+            }
+    spec["encoding"] = encoding
+    return spec
+
+
+def interface_to_vegalite(
+    interface: Interface,
+    runtime: Optional[InterfaceRuntime] = None,
+    title: str = "PI2 generated interface",
+) -> dict:
+    """Convert a whole interface into a vertically concatenated Vega-Lite spec.
+
+    Each view becomes one unit spec; the interactions mapped onto a view are
+    attached as Vega-Lite ``params`` (selection / scale-binding stubs), and
+    the widgets are summarised in the view description so a human reader of
+    the spec can see which query parameters the interface exposes.
+    """
+    units = []
+    for view_index, view in enumerate(interface.views):
+        result = None
+        if runtime is not None and view_index < len(runtime.view_states):
+            result = runtime.view_states[view_index].result
+        unit = view_to_vegalite(view, result)
+
+        params = []
+        seen_param_names = set()
+        for applied in interface.interactions:
+            if applied.source_view_index != view_index:
+                continue
+            stub = _INTERACTION_PARAMS.get(applied.candidate.interaction)
+            if stub is None or stub["name"] in seen_param_names:
+                continue
+            seen_param_names.add(stub["name"])
+            params.append(stub)
+        if params:
+            unit["params"] = params
+
+        widgets = [
+            w.candidate.describe() for w in interface.widgets if w.view_index == view_index
+        ]
+        if widgets:
+            unit["description"] += " | widgets: " + ", ".join(widgets)
+        units.append(unit)
+
+    if len(units) == 1:
+        spec = dict(units[0])
+        spec["title"] = title
+        return spec
+    return {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": title,
+        "vconcat": [
+            {k: v for k, v in unit.items() if k != "$schema"} for unit in units
+        ],
+    }
+
+
+def export_vegalite(
+    interface: Interface,
+    path: str,
+    runtime: Optional[InterfaceRuntime] = None,
+    title: str = "PI2 generated interface",
+) -> str:
+    """Write the interface's Vega-Lite specification to ``path`` (JSON)."""
+    spec = interface_to_vegalite(interface, runtime, title)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(spec, fh, indent=2, default=str)
+    return path

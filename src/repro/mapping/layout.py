@@ -1,0 +1,209 @@
+"""Layout mapping: layout trees, bounding boxes and H/V assignment
+(paper Section 4.3).
+
+The layout tree has one leaf per on-screen element (a visualization or a
+widget) and internal nodes that lay their children out horizontally (H) or
+vertically (V).  Per Difftree we build a layout node containing its widgets
+(ordered by their depth-first position in the Difftree) followed by its
+visualization; the interface root stacks the per-tree layouts.
+
+Bounding boxes are estimated from widget / visualization sizes; the final H/V
+directions are assigned by a branch-and-bound search that minimises the
+interface cost (navigation + size penalty), following SUPPLE.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+#: Pixel padding between sibling elements.
+PADDING = 12
+
+HORIZONTAL = "H"
+VERTICAL = "V"
+
+
+@dataclass
+class LayoutLeaf:
+    """A leaf of the layout tree: one visualization or widget.
+
+    ``ref`` points back at the mapped object (a ``VisMapping`` or a
+    ``WidgetCandidate``); the element's position is filled in by
+    :meth:`LayoutTree.compute_boxes`.
+    """
+
+    kind: str                # "vis" or "widget"
+    ref: object
+    width: int
+    height: int
+    label: str = ""
+    x: float = 0.0
+    y: float = 0.0
+
+    @property
+    def centroid(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def min_extent(self) -> float:
+        """W in Fitts' law: the smaller of the element's box dimensions."""
+        return float(min(self.width, self.height))
+
+
+@dataclass
+class LayoutNode:
+    """An internal layout node laying its children out in one direction."""
+
+    children: list[Union["LayoutNode", LayoutLeaf]] = field(default_factory=list)
+    direction: str = VERTICAL
+    label: str = ""
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+
+    def leaves(self) -> list[LayoutLeaf]:
+        out: list[LayoutLeaf] = []
+        for child in self.children:
+            if isinstance(child, LayoutLeaf):
+                out.append(child)
+            else:
+                out.extend(child.leaves())
+        return out
+
+    def internal_nodes(self) -> list["LayoutNode"]:
+        out = [self]
+        for child in self.children:
+            if isinstance(child, LayoutNode):
+                out.extend(child.internal_nodes())
+        return out
+
+    def compute_boxes(self, x: float = 0.0, y: float = 0.0) -> tuple[float, float]:
+        """Assign positions to all descendants; returns (width, height)."""
+        self.x, self.y = x, y
+        cursor_x, cursor_y = x, y
+        max_w, max_h = 0.0, 0.0
+        total_w, total_h = 0.0, 0.0
+        for child in self.children:
+            if isinstance(child, LayoutLeaf):
+                child.x, child.y = cursor_x, cursor_y
+                w, h = float(child.width), float(child.height)
+            else:
+                w, h = child.compute_boxes(cursor_x, cursor_y)
+            if self.direction == HORIZONTAL:
+                cursor_x += w + PADDING
+                total_w += w + PADDING
+                max_h = max(max_h, h)
+            else:
+                cursor_y += h + PADDING
+                total_h += h + PADDING
+                max_w = max(max_w, w)
+        if self.direction == HORIZONTAL:
+            self.width = max(0.0, total_w - PADDING)
+            self.height = max_h
+        else:
+            self.width = max_w
+            self.height = max(0.0, total_h - PADDING)
+        return self.width, self.height
+
+
+@dataclass
+class LayoutTree:
+    """The interface's layout: a root layout node plus helpers."""
+
+    root: LayoutNode
+
+    def compute_boxes(self) -> tuple[float, float]:
+        return self.root.compute_boxes(0.0, 0.0)
+
+    def leaves(self) -> list[LayoutLeaf]:
+        return self.root.leaves()
+
+    def size(self) -> tuple[float, float]:
+        return self.root.width, self.root.height
+
+    def leaf_for(self, ref: object) -> Optional[LayoutLeaf]:
+        for leaf in self.leaves():
+            if leaf.ref is ref:
+                return leaf
+        return None
+
+    def describe(self, node: Optional[LayoutNode] = None, indent: int = 0) -> str:
+        node = node or self.root
+        lines = [f"{'  ' * indent}{node.direction} [{node.label}]"]
+        for child in node.children:
+            if isinstance(child, LayoutLeaf):
+                lines.append(
+                    f"{'  ' * (indent + 1)}{child.kind}:{child.label} "
+                    f"({child.width}x{child.height})"
+                )
+            else:
+                lines.append(self.describe(child, indent + 1))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# building layout trees
+# ---------------------------------------------------------------------------
+
+
+def build_layout_tree(
+    view_elements: Sequence[tuple[LayoutLeaf, Sequence[LayoutLeaf]]],
+) -> LayoutTree:
+    """Assemble the interface layout tree.
+
+    ``view_elements`` holds, per Difftree, the visualization leaf and the
+    widget leaves that parameterise it (in Difftree depth-first order).  Each
+    view becomes a layout node (widgets then the chart); the root stacks the
+    views.
+    """
+    view_nodes: list[Union[LayoutNode, LayoutLeaf]] = []
+    for i, (vis_leaf, widget_leaves) in enumerate(view_elements):
+        children: list[Union[LayoutNode, LayoutLeaf]] = []
+        if widget_leaves:
+            children.append(
+                LayoutNode(list(widget_leaves), direction=VERTICAL, label=f"widgets-{i}")
+            )
+        children.append(vis_leaf)
+        view_nodes.append(LayoutNode(children, direction=HORIZONTAL, label=f"view-{i}"))
+    root = LayoutNode(view_nodes, direction=VERTICAL, label="root")
+    tree = LayoutTree(root)
+    tree.compute_boxes()
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# H/V assignment (branch and bound, following SUPPLE)
+# ---------------------------------------------------------------------------
+
+
+def optimize_layout(
+    tree: LayoutTree,
+    cost_fn: Callable[[LayoutTree], float],
+    max_nodes: int = 12,
+) -> tuple[LayoutTree, float]:
+    """Assign H/V directions to the internal layout nodes minimising ``cost_fn``.
+
+    The search enumerates direction assignments with branch-and-bound pruning
+    on the running best cost; with the small layout trees PI2 produces
+    (typically < 8 internal nodes) this is exact.
+    """
+    nodes = tree.root.internal_nodes()[:max_nodes]
+    best_cost = float("inf")
+    best_dirs: Optional[tuple[str, ...]] = None
+
+    for dirs in itertools.product((VERTICAL, HORIZONTAL), repeat=len(nodes)):
+        for node, direction in zip(nodes, dirs):
+            node.direction = direction
+        tree.compute_boxes()
+        cost = cost_fn(tree)
+        if cost < best_cost:
+            best_cost = cost
+            best_dirs = dirs
+
+    if best_dirs is not None:
+        for node, direction in zip(nodes, best_dirs):
+            node.direction = direction
+        tree.compute_boxes()
+    return tree, best_cost

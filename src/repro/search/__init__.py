@@ -1,0 +1,19 @@
+"""Monte Carlo Tree Search over Difftree states (paper Section 6.2)."""
+
+from .config import SearchConfig, SearchStats
+from .mcts import MCTSNode, MCTSWorker, RewardFn, search_difftrees
+from .parallel import ParallelCoordinator, ParallelSearchResult, parallel_search
+from .state import SearchState
+
+__all__ = [
+    "MCTSNode",
+    "MCTSWorker",
+    "ParallelCoordinator",
+    "ParallelSearchResult",
+    "RewardFn",
+    "SearchConfig",
+    "SearchState",
+    "SearchStats",
+    "parallel_search",
+    "search_difftrees",
+]

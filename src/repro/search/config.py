@@ -1,0 +1,70 @@
+"""Search configuration shared by MCTS workers and the end-to-end pipeline.
+
+Defaults follow the paper's Section 7.3: early stop after 30 unimproved
+iterations, 3 parallel workers, synchronization every 10 iterations, and K=5
+random interface mappings per reward estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchConfig:
+    """Tunable parameters of the Difftree search.
+
+    Attributes:
+        max_iterations: hard cap on MCTS iterations per worker.
+        early_stop: stop when the best state has not improved for this many
+            iterations (the paper's ``es`` parameter, default 30).
+        workers: number of (simulated) parallel MCTS workers (``p``, default 3).
+        sync_interval: synchronize workers every this many iterations
+            (``s``, default 10).
+        exploration_c: the UCT exploration constant ``c`` in Equation 1.
+        variance_d: the ``d`` constant in the variance term of Equation 1.
+        rollout_depth: maximum number of random transformations per playout.
+        reward_mappings: number of random interface mappings (``K``) used to
+            estimate a state's reward.
+        terminate_probability: chance of choosing the special TERMINATE rule
+            at each playout step.
+        max_applications: cap on enumerated rule applications per state.
+        seed: seed for all randomness (reproducibility).
+    """
+
+    max_iterations: int = 120
+    early_stop: int = 30
+    workers: int = 3
+    sync_interval: int = 10
+    exploration_c: float = 1.2
+    variance_d: float = 1.0
+    rollout_depth: int = 14
+    reward_mappings: int = 5
+    terminate_probability: float = 0.08
+    max_applications: int = 48
+    seed: int = 42
+
+    def rng(self, offset: int = 0) -> random.Random:
+        """A deterministic RNG derived from the seed (per worker offset)."""
+        return random.Random(self.seed + offset * 7919)
+
+    def replace(self, **kwargs) -> "SearchConfig":
+        """A copy of the configuration with the given fields overridden."""
+        data = self.__dict__.copy()
+        data.update(kwargs)
+        return SearchConfig(**data)
+
+
+@dataclass
+class SearchStats:
+    """Diagnostics collected by a search run (used by the benchmarks)."""
+
+    iterations: int = 0
+    states_evaluated: int = 0
+    rule_applications: int = 0
+    best_reward: float = float("-inf")
+    best_iteration: int = 0
+    early_stopped: bool = False
+    per_worker_iterations: list[int] = field(default_factory=list)
+    search_seconds: float = 0.0

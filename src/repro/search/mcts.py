@@ -1,0 +1,264 @@
+"""Single-player Monte Carlo Tree Search over Difftree states (Section 6.2).
+
+The search balances exploration of new Difftree structures with exploitation
+of good ones using the SP-MCTS variant of UCT (Equation 1 in the paper): the
+usual average-reward and exploration terms plus a variance term that prefers
+nodes with high reward spread.  A special ``TERMINATE`` transition is
+available from every state; choosing it produces a terminal state with no
+outgoing transitions.
+
+Following Cadiaplayer, the search returns the highest-reward state
+*encountered anywhere* (selection, expansion or rollout), not the state with
+the best average reward.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Callable, Optional, Sequence
+
+from ..difftree.tree import Difftree
+from ..transform.engine import TransformEngine
+from .config import SearchConfig, SearchStats
+from .state import SearchState
+
+#: Signature of the reward estimator: higher is better (the pipeline supplies
+#: the negative of the minimum interface cost over K random mappings).
+RewardFn = Callable[[SearchState], float]
+
+
+class MCTSNode:
+    """One node of the MCTS search tree."""
+
+    __slots__ = (
+        "state",
+        "parent",
+        "children",
+        "untried",
+        "visits",
+        "total_reward",
+        "total_squared",
+        "expanded",
+    )
+
+    def __init__(self, state: SearchState, parent: Optional["MCTSNode"] = None) -> None:
+        self.state = state
+        self.parent = parent
+        self.children: list[MCTSNode] = []
+        self.untried: Optional[list] = None  # lazily enumerated applications
+        self.visits = 0
+        self.total_reward = 0.0
+        self.total_squared = 0.0
+        self.expanded = False
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.visits if self.visits else 0.0
+
+    def uct_score(self, c: float, d: float, lo: float = 0.0, hi: float = 1.0) -> float:
+        """The modified UCT score of Equation 1 (SP-MCTS).
+
+        Rewards are normalised to [0, 1] using the best / worst rewards the
+        worker has observed (``lo`` / ``hi``) so that the exploration constant
+        ``c`` is meaningful regardless of the interface-cost scale — without
+        this, a single mediocre-but-better-than-average child absorbs every
+        visit and the search never explores deeper structures.
+        """
+        if self.visits == 0:
+            return float("inf")
+        assert self.parent is not None
+        span = (hi - lo) or 1.0
+        mean = (self.mean_reward - lo) / span
+        exploration = c * math.sqrt(math.log(max(1, self.parent.visits)) / self.visits)
+        # variance of the normalised rewards from the raw aggregates
+        raw_mean = self.mean_reward
+        raw_var = max(0.0, self.total_squared / self.visits - raw_mean * raw_mean)
+        variance = raw_var / (span * span)
+        return mean + exploration + math.sqrt((variance + d) / self.visits)
+
+    def is_terminal(self) -> bool:
+        return self.state.terminal
+
+
+class MCTSWorker:
+    """One MCTS search instance (the paper runs several of these in parallel)."""
+
+    def __init__(
+        self,
+        initial: SearchState,
+        engine: TransformEngine,
+        reward_fn: RewardFn,
+        config: SearchConfig,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.engine = engine
+        self.reward_fn = reward_fn
+        self.config = config
+        self.rng = rng or config.rng()
+        self.root = MCTSNode(initial)
+        self.stats = SearchStats()
+        self._reward_cache: dict[str, float] = {}
+        self.iterations_since_improvement = 0
+        self.best_state = initial
+        self.best_reward = self._evaluate(initial)
+        self.stats.best_reward = self.best_reward
+
+    # -- public API --------------------------------------------------------
+
+    def run_iteration(self) -> None:
+        """Execute one select → expand → simulate → backpropagate cycle."""
+        start = time.perf_counter()
+        best_before = self.best_reward
+        leaf = self._select(self.root)
+        child = self._expand(leaf)
+        reward = self._simulate(child)
+        self._backpropagate(child, reward)
+        self.stats.iterations += 1
+        # early-stop bookkeeping is per *iteration*, not per evaluated state
+        if self.best_reward > best_before:
+            self.iterations_since_improvement = 0
+        else:
+            self.iterations_since_improvement += 1
+        self.stats.search_seconds += time.perf_counter() - start
+
+    def run(self, iterations: Optional[int] = None) -> SearchState:
+        """Run until the iteration budget or early stop is reached."""
+        budget = iterations if iterations is not None else self.config.max_iterations
+        for _ in range(budget):
+            self.run_iteration()
+            if self.iterations_since_improvement >= self.config.early_stop:
+                self.stats.early_stopped = True
+                break
+        return self.best_state
+
+    def adopt(self, state: SearchState, reward: float) -> None:
+        """Adopt a better state discovered by another worker (synchronization)."""
+        if reward > self.best_reward:
+            self.best_state = state
+            self.best_reward = reward
+            self.iterations_since_improvement = 0
+
+    # -- the four MCTS phases --------------------------------------------------
+
+    def _select(self, node: MCTSNode) -> MCTSNode:
+        lo, hi = self._reward_bounds()
+        while node.expanded and node.children and not node.is_terminal():
+            node = max(
+                node.children,
+                key=lambda child: child.uct_score(
+                    self.config.exploration_c, self.config.variance_d, lo, hi
+                ),
+            )
+        return node
+
+    def _reward_bounds(self) -> tuple[float, float]:
+        """The worst / best rewards observed so far (for UCT normalisation)."""
+        rewards = [r for r in self._reward_cache.values() if r != float("-inf")]
+        if not rewards:
+            return (0.0, 1.0)
+        lo, hi = min(rewards), max(rewards)
+        if lo == hi:
+            return (lo, lo + 1.0)
+        return (lo, hi)
+
+    def _expand(self, node: MCTSNode) -> MCTSNode:
+        if node.is_terminal():
+            return node
+        if not node.expanded:
+            applications = self.engine.applications(node.state.trees, self.rng)
+            self.stats.rule_applications += len(applications)
+            children: list[MCTSNode] = [MCTSNode(node.state.as_terminal(), node)]
+            seen = {node.state.fingerprint()}
+            for app in applications:
+                new_trees = self.engine.apply(app)
+                if new_trees is None:
+                    continue
+                child_state = SearchState(new_trees)
+                if child_state.fingerprint() in seen:
+                    continue
+                seen.add(child_state.fingerprint())
+                children.append(MCTSNode(child_state, node))
+            node.children = children
+            node.expanded = True
+        unvisited = [c for c in node.children if c.visits == 0]
+        pool = unvisited if unvisited else node.children
+        return self.rng.choice(pool) if pool else node
+
+    def _simulate(self, node: MCTSNode) -> float:
+        """Random playout from the node's state; returns the best reward seen."""
+        current = node.state
+        best = self._evaluate(current)
+        self._track_best(current, best)
+        if current.terminal:
+            return best
+        for _ in range(self.config.rollout_depth):
+            if self.rng.random() < self.config.terminate_probability:
+                break
+            applications = self.engine.applications(current.trees, self.rng)
+            if not applications:
+                break
+            app = self._weighted_choice(applications)
+            new_trees = self.engine.apply(app)
+            if new_trees is None:
+                continue
+            current = SearchState(new_trees)
+            reward = self._evaluate(current)
+            self._track_best(current, reward)
+            best = max(best, reward)
+        return best
+
+    #: rollout bias: refactoring / mutation rules make progress towards
+    #: interactive interfaces, cross-tree rules mostly shuffle structure
+    _CATEGORY_WEIGHTS = {
+        "refactoring": 4.0,
+        "mutation": 3.0,
+        "simplification": 2.0,
+        "cross-tree": 1.0,
+    }
+
+    def _weighted_choice(self, applications):
+        weights = [
+            self._CATEGORY_WEIGHTS.get(app.category, 1.0) for app in applications
+        ]
+        return self.rng.choices(applications, weights=weights, k=1)[0]
+
+    def _backpropagate(self, node: Optional[MCTSNode], reward: float) -> None:
+        while node is not None:
+            node.visits += 1
+            node.total_reward += reward
+            node.total_squared += reward * reward
+            node = node.parent
+
+    # -- reward bookkeeping ----------------------------------------------------------
+
+    def _evaluate(self, state: SearchState) -> float:
+        key = state.fingerprint()
+        if key not in self._reward_cache:
+            self._reward_cache[key] = self.reward_fn(state)
+            self.stats.states_evaluated += 1
+        return self._reward_cache[key]
+
+    def _track_best(self, state: SearchState, reward: float) -> None:
+        if reward > self.best_reward:
+            self.best_reward = reward
+            self.best_state = state
+            self.best_iteration = self.stats.iterations
+            self.stats.best_reward = reward
+            self.stats.best_iteration = self.stats.iterations
+
+    best_iteration = 0
+
+
+def search_difftrees(
+    initial_trees: Sequence[Difftree],
+    engine: TransformEngine,
+    reward_fn: RewardFn,
+    config: Optional[SearchConfig] = None,
+) -> tuple[SearchState, SearchStats]:
+    """Single-worker convenience entry point (used by tests and ablations)."""
+    config = config or SearchConfig()
+    worker = MCTSWorker(SearchState(initial_trees), engine, reward_fn, config)
+    best = worker.run()
+    return best, worker.stats

@@ -1,0 +1,126 @@
+"""Parallel MCTS coordination (paper Section 6.2.1, "run the search
+iterations in parallel").
+
+The paper distributes MCTS over ``p`` workers; every ``s`` iterations the
+coordinator gathers each worker's best state, broadcasts the overall best
+back, and terminates early when every worker reports that its local optimum
+has not changed in ``es`` iterations.
+
+This module reproduces that coordination *deterministically*: workers are
+independent :class:`MCTSWorker` instances with distinct seeds whose iteration
+rounds are interleaved round-robin by the coordinator.  (True multi-process
+execution would change wall-clock numbers but not the search behaviour the
+paper's experiments study — see DESIGN.md, substitutions.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..difftree.tree import Difftree
+from ..transform.engine import TransformEngine
+from .config import SearchConfig, SearchStats
+from .mcts import MCTSWorker, RewardFn
+from .state import SearchState
+
+
+class ParallelSearchResult:
+    """Outcome of a (parallel) search: best state, reward, and diagnostics."""
+
+    def __init__(
+        self,
+        best_state: SearchState,
+        best_reward: float,
+        stats: SearchStats,
+        worker_stats: list[SearchStats],
+    ) -> None:
+        self.best_state = best_state
+        self.best_reward = best_reward
+        self.stats = stats
+        self.worker_stats = worker_stats
+
+
+class ParallelCoordinator:
+    """Round-robin coordinator over ``p`` MCTS workers with periodic syncs."""
+
+    def __init__(
+        self,
+        initial_trees: Sequence[Difftree],
+        engine: TransformEngine,
+        reward_fn: RewardFn,
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        self.config = config or SearchConfig()
+        self.engine = engine
+        self.reward_fn = reward_fn
+        initial_state = SearchState(initial_trees)
+        self.workers = [
+            MCTSWorker(
+                initial_state,
+                engine,
+                reward_fn,
+                self.config,
+                rng=self.config.rng(offset=w + 1),
+            )
+            for w in range(max(1, self.config.workers))
+        ]
+
+    def run(self) -> ParallelSearchResult:
+        """Run the synchronized parallel search until termination."""
+        config = self.config
+        start = time.perf_counter()
+        total_iterations = 0
+        rounds = max(1, config.max_iterations // max(1, config.sync_interval))
+
+        for _ in range(rounds):
+            # each worker runs `sync_interval` iterations of its own search
+            for worker in self.workers:
+                for _ in range(config.sync_interval):
+                    worker.run_iteration()
+                    total_iterations += 1
+
+            # synchronization: broadcast the best state across workers
+            best_worker = max(self.workers, key=lambda w: w.best_reward)
+            best_state, best_reward = best_worker.best_state, best_worker.best_reward
+            for worker in self.workers:
+                worker.adopt(best_state, best_reward)
+
+            # early stop: every worker's local optimum is stale
+            if all(
+                w.iterations_since_improvement >= config.early_stop
+                for w in self.workers
+            ):
+                break
+
+        best_worker = max(self.workers, key=lambda w: w.best_reward)
+        stats = SearchStats(
+            iterations=total_iterations,
+            states_evaluated=sum(w.stats.states_evaluated for w in self.workers),
+            rule_applications=sum(w.stats.rule_applications for w in self.workers),
+            best_reward=best_worker.best_reward,
+            best_iteration=best_worker.stats.best_iteration,
+            early_stopped=any(w.stats.early_stopped for w in self.workers)
+            or all(
+                w.iterations_since_improvement >= config.early_stop
+                for w in self.workers
+            ),
+            per_worker_iterations=[w.stats.iterations for w in self.workers],
+            search_seconds=time.perf_counter() - start,
+        )
+        return ParallelSearchResult(
+            best_worker.best_state,
+            best_worker.best_reward,
+            stats,
+            [w.stats for w in self.workers],
+        )
+
+
+def parallel_search(
+    initial_trees: Sequence[Difftree],
+    engine: TransformEngine,
+    reward_fn: RewardFn,
+    config: Optional[SearchConfig] = None,
+) -> ParallelSearchResult:
+    """Convenience wrapper around :class:`ParallelCoordinator`."""
+    return ParallelCoordinator(initial_trees, engine, reward_fn, config).run()

@@ -1,0 +1,45 @@
+"""Search states: an immutable snapshot of a list of Difftrees.
+
+The MCTS search tree is built over these states.  A state caches its
+fingerprint (used to detect revisits) and whether it is terminal (reached by
+the special TERMINATE transition, which every state offers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..difftree.tree import Difftree
+
+
+class SearchState:
+    """A node-value in the search space: a list of Difftrees."""
+
+    def __init__(self, trees: Sequence[Difftree], terminal: bool = False) -> None:
+        self.trees = list(trees)
+        self.terminal = terminal
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Canonical identity of the state (order-insensitive over trees)."""
+        if self._fingerprint is None:
+            parts = sorted(t.fingerprint() for t in self.trees)
+            self._fingerprint = ("T|" if self.terminal else "") + "||".join(parts)
+        return self._fingerprint
+
+    def num_choice_nodes(self) -> int:
+        return sum(len(t.choice_nodes()) for t in self.trees)
+
+    def num_trees(self) -> int:
+        return len(self.trees)
+
+    def as_terminal(self) -> "SearchState":
+        """The terminal copy of this state (result of the TERMINATE rule)."""
+        return SearchState(self.trees, terminal=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchState({len(self.trees)} trees, "
+            f"{self.num_choice_nodes()} choice nodes"
+            f"{', terminal' if self.terminal else ''})"
+        )

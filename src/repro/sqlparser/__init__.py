@@ -1,0 +1,39 @@
+"""SQL substrate: lexer, PEG-style parser, generic AST, and SQL renderer.
+
+This package is the "lightly annotated language grammar" that PI2 assumes
+access to.  It parses the workload queries into generic labelled syntax
+trees (:class:`repro.sqlparser.ast_nodes.Node`) which the Difftree layer then
+extends with choice nodes.
+"""
+
+from . import ast_nodes
+from .ast_nodes import L, Node
+from .errors import LexError, ParseError, RenderError, SqlError
+from .lexer import Lexer, normalise_sql, tokenize
+from .parser import AGGREGATE_FUNCTIONS, COMPARISON_OPS, Parser, parse, parse_many
+from .render import SqlRenderer, to_pseudo_sql, to_sql
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "COMPARISON_OPS",
+    "KEYWORDS",
+    "L",
+    "LexError",
+    "Lexer",
+    "Node",
+    "ParseError",
+    "Parser",
+    "RenderError",
+    "SqlError",
+    "SqlRenderer",
+    "Token",
+    "TokenType",
+    "ast_nodes",
+    "normalise_sql",
+    "parse",
+    "parse_many",
+    "to_pseudo_sql",
+    "to_sql",
+    "tokenize",
+]

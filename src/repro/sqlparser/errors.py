@@ -1,0 +1,55 @@
+"""Error types raised by the SQL substrate (lexer and parser).
+
+The PI2 pipeline treats queries as untrusted user input: parse failures must
+never crash the system, so every error raised by :mod:`repro.sqlparser`
+derives from :class:`SqlError` and carries enough position information to
+produce a helpful message.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL substrate errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters a character it cannot tokenize.
+
+    Attributes:
+        text: the full input string.
+        pos: character offset of the offending character.
+    """
+
+    def __init__(self, message: str, text: str = "", pos: int = 0) -> None:
+        super().__init__(message)
+        self.text = text
+        self.pos = pos
+
+    def context(self, width: int = 20) -> str:
+        """Return a short excerpt of the input around the error position."""
+        lo = max(0, self.pos - width)
+        hi = min(len(self.text), self.pos + width)
+        return f"...{self.text[lo:hi]}..."
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream.
+
+    Attributes:
+        token: the offending token (may be ``None`` at end of input).
+        expected: human readable description of what was expected.
+    """
+
+    def __init__(self, message: str, token=None, expected: str | None = None) -> None:
+        super().__init__(message)
+        self.token = token
+        self.expected = expected
+
+
+class RenderError(SqlError):
+    """Raised when an AST cannot be rendered back to SQL text.
+
+    This typically indicates an unresolved choice node leaked into a plain
+    AST, or a malformed node constructed by hand.
+    """

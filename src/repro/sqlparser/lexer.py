@@ -1,0 +1,171 @@
+"""Hand written lexer for the SQL dialect used by the PI2 workloads.
+
+The lexer is intentionally tolerant: the PI2 paper's query listings use a few
+shorthand conventions (``BTWN a & b`` for ``BETWEEN a AND b``, unicode quote
+characters from PDF extraction) and the lexer normalises them so downstream
+components only ever see canonical tokens.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .tokens import MULTI_CHAR_OPERATORS, SINGLE_CHAR_OPERATORS, Token, TokenType
+
+#: Characters that PDF extraction commonly substitutes for ASCII quotes.
+_QUOTE_CHARS = {"'", "‘", "’", "“", "”", '"', "`"}
+
+#: Mapping from fancy quotes to their ASCII equivalents (for normalisation).
+_NORMALISE = {
+    "‘": "'",
+    "’": "'",
+    "“": '"',
+    "”": '"',
+    "–": "-",
+    "—": "-",
+    " ": " ",
+}
+
+
+def normalise_sql(text: str) -> str:
+    """Replace typographic quotes/dashes with ASCII so the lexer accepts
+    queries copied directly from the paper PDF."""
+    return "".join(_NORMALISE.get(ch, ch) for ch in text)
+
+
+class Lexer:
+    """Converts a SQL string into a list of :class:`Token` objects."""
+
+    def __init__(self, text: str) -> None:
+        self.text = normalise_sql(text)
+        self.pos = 0
+        self.tokens: list[Token] = []
+
+    # -- public API -----------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole input and return the token list (EOF-terminated)."""
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch == "-" and self._peek(1) == "-":
+                self._skip_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                self._lex_ident()
+            elif ch in _QUOTE_CHARS:
+                self._lex_string(ch)
+            elif ch == ",":
+                self._emit(TokenType.COMMA, ",")
+            elif ch == ".":
+                self._emit(TokenType.DOT, ".")
+            elif ch == "(":
+                self._emit(TokenType.LPAREN, "(")
+            elif ch == ")":
+                self._emit(TokenType.RPAREN, ")")
+            elif ch == "*":
+                self._emit(TokenType.STAR, "*")
+            elif ch == ";":
+                self._emit(TokenType.SEMICOLON, ";")
+            else:
+                self._lex_operator()
+        self.tokens.append(Token(TokenType.EOF, "", self.pos))
+        return self.tokens
+
+    # -- helpers --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _emit(self, ttype: TokenType, value: str) -> None:
+        self.tokens.append(Token(ttype, value, self.pos))
+        self.pos += len(value)
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] != "\n":
+            self.pos += 1
+
+    def _skip_block_comment(self) -> None:
+        end = self.text.find("*/", self.pos + 2)
+        if end == -1:
+            raise LexError("unterminated block comment", self.text, self.pos)
+        self.pos = end + 2
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                # A dot not followed by a digit terminates the number so
+                # ``1.e`` style malformed input is rejected by the parser.
+                if not self._peek(1).isdigit():
+                    break
+                seen_dot = True
+                self.pos += 1
+            elif ch in "eE" and not seen_exp and self._peek(1).isdigit():
+                seen_exp = True
+                self.pos += 2
+            elif ch in "eE" and not seen_exp and self._peek(1) in "+-" and self._peek(2).isdigit():
+                seen_exp = True
+                self.pos += 3
+            else:
+                break
+        value = self.text[start : self.pos]
+        self.tokens.append(Token(TokenType.NUMBER, value, start))
+
+    def _lex_ident(self) -> None:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        self.tokens.append(Token(TokenType.IDENT, self.text[start : self.pos], start))
+
+    def _lex_string(self, quote: str) -> None:
+        # All quote styles terminate with a plain ASCII single/double quote
+        # after normalisation.
+        closing = "'" if quote in ("'",) else quote
+        start = self.pos
+        self.pos += 1
+        chars: list[str] = []
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == closing:
+                # doubled quote escapes the quote character (SQL style)
+                if self._peek(1) == closing:
+                    chars.append(closing)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                self.tokens.append(Token(TokenType.STRING, "".join(chars), start))
+                return
+            chars.append(ch)
+            self.pos += 1
+        raise LexError("unterminated string literal", self.text, start)
+
+    def _lex_operator(self) -> None:
+        rest = self.text[self.pos :]
+        for op in MULTI_CHAR_OPERATORS:
+            if rest.startswith(op):
+                self._emit(TokenType.OPERATOR, op)
+                return
+        for op in SINGLE_CHAR_OPERATORS:
+            if rest.startswith(op):
+                self._emit(TokenType.OPERATOR, op)
+                return
+        raise LexError(
+            f"unexpected character {self.text[self.pos]!r}", self.text, self.pos
+        )
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return Lexer(text).tokenize()

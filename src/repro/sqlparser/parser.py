@@ -1,0 +1,507 @@
+"""Recursive-descent parser for the SQL dialect used by the PI2 workloads.
+
+The grammar mirrors a PEG-style specification (ordered choice, optional and
+repeated elements), which is exactly the structure PI2's choice nodes
+generalise: ``ANY`` corresponds to ordered choice, ``OPT`` to ``?``, ``MULTI``
+to ``*``/``+`` and ``SUBSET`` to a sequence of optionals.
+
+Supported features (everything the paper's Listings 1-7 require, plus a bit
+of headroom):
+
+* ``SELECT [DISTINCT] expr [AS alias], ...``
+* aggregate and scalar function calls, ``count(*)``, ``count(DISTINCT x)``
+* ``FROM`` with comma joins, explicit ``JOIN ... ON``, aliased subqueries
+* ``WHERE`` / ``HAVING`` with ``AND``/``OR``/``NOT``, comparison operators,
+  ``BETWEEN`` (and the paper's ``BTWN lo & hi`` shorthand), ``IN`` over value
+  lists and subqueries, ``IS [NOT] NULL``, ``LIKE``
+* scalar subqueries in expressions (e.g. inside ``HAVING``)
+* ``GROUP BY``, ``ORDER BY ... [ASC|DESC]``, ``LIMIT`` / ``OFFSET``
+* ``CASE WHEN ... THEN ... [ELSE ...] END``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as A
+from .ast_nodes import L, Node  # noqa: F401 - L used by helper methods
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+#: Comparison operators recognised in predicates.
+COMPARISON_OPS = {"=", "<>", "!=", ">", "<", ">=", "<="}
+
+#: Aggregate functions known to the substrate (used for type inference too).
+AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+
+class Parser:
+    """Parses a token stream into the generic :class:`Node` AST."""
+
+    def __init__(self, tokens: list[Token], text: str = "") -> None:
+        self.tokens = tokens
+        self.text = text
+        self.idx = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.idx]
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.idx + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.type is not TokenType.EOF:
+            self.idx += 1
+        return tok
+
+    def expect(self, ttype: TokenType, value: Optional[str] = None) -> Token:
+        tok = self.current
+        if tok.type is not ttype or (value is not None and tok.upper() != value.upper()):
+            raise ParseError(
+                f"expected {value or ttype.value!s} but found {tok.value!r} at {tok.pos}",
+                token=tok,
+                expected=value or ttype.value,
+            )
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise ParseError(
+                f"expected {'/'.join(names)} but found {self.current.value!r} "
+                f"at {self.current.pos}",
+                token=self.current,
+                expected="/".join(names),
+            )
+        return self.advance()
+
+    # -- entry points -----------------------------------------------------
+
+    def parse_statement(self) -> Node:
+        """Parse a single SELECT statement (optionally ``;``-terminated)."""
+        stmt = self.parse_select()
+        if self.current.type is TokenType.SEMICOLON:
+            self.advance()
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r} at "
+                f"{self.current.pos}",
+                token=self.current,
+            )
+        return stmt
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_select(self) -> Node:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_select_item())
+        clauses = [A.select_clause(items, distinct=distinct)]
+
+        if self.current.is_keyword("FROM"):
+            clauses.append(self.parse_from())
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            clauses.append(A.where_clause(self._as_conjunction(self.parse_expr())))
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            exprs = [self.parse_expr()]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                exprs.append(self.parse_expr())
+            clauses.append(A.groupby_clause(exprs))
+        if self.current.is_keyword("HAVING"):
+            self.advance()
+            clauses.append(A.having_clause(self._as_conjunction(self.parse_expr())))
+        if self.current.is_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            items = [self.parse_order_item()]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                items.append(self.parse_order_item())
+            clauses.append(A.orderby_clause(items))
+        if self.current.is_keyword("LIMIT"):
+            self.advance()
+            clauses.append(A.limit_clause(self.parse_expr()))
+            if self.current.is_keyword("OFFSET"):
+                self.advance()
+                # offset expression is stored as a second child of LIMIT
+                clauses[-1].children.append(self.parse_expr())
+        return A.select_stmt(*clauses)
+
+    @staticmethod
+    def _as_conjunction(expr: Node) -> Node:
+        """Canonicalise WHERE / HAVING expressions as conjunction lists.
+
+        Wrapping a single predicate in a one-element AND keeps every filter
+        clause list-shaped, which lets the Difftree transformation rules
+        (PushANY over conjunctions, ANY→SUBSET, PushOPT2) align queries that
+        differ in how many predicates they have.
+        """
+        if expr.label == L.AND:
+            return expr
+        return A.and_(expr)
+
+    def parse_select_item(self) -> Node:
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            return A.select_item(A.star())
+        expr = self.parse_expr()
+        alias = self._parse_optional_alias()
+        return A.select_item(expr, alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            tok = self.expect(TokenType.IDENT)
+            return tok.value
+        # bare alias: an identifier that is not a clause keyword
+        if self.current.type is TokenType.IDENT and not self.current.is_keyword(
+            "FROM",
+            "WHERE",
+            "GROUP",
+            "HAVING",
+            "ORDER",
+            "LIMIT",
+            "OFFSET",
+            "AND",
+            "OR",
+            "ON",
+            "JOIN",
+            "INNER",
+            "LEFT",
+            "RIGHT",
+            "UNION",
+            "ASC",
+            "DESC",
+            "BETWEEN",
+            "BTWN",
+            "IN",
+            "NOT",
+            "IS",
+            "LIKE",
+            "WHEN",
+            "THEN",
+            "ELSE",
+            "END",
+        ):
+            return self.advance().value
+        return None
+
+    def parse_from(self) -> Node:
+        self.expect_keyword("FROM")
+        refs = [self.parse_table_ref()]
+        while True:
+            if self.current.type is TokenType.COMMA:
+                self.advance()
+                refs.append(self.parse_table_ref())
+            elif self.current.is_keyword("JOIN", "INNER", "LEFT", "RIGHT"):
+                refs.append(self.parse_join(refs.pop()))
+            else:
+                break
+        return A.from_clause(refs)
+
+    def parse_join(self, left: Node) -> Node:
+        join_type = "INNER"
+        if self.current.is_keyword("INNER", "LEFT", "RIGHT"):
+            join_type = self.advance().upper()
+            self.accept_keyword("OUTER")
+        self.expect_keyword("JOIN")
+        right = self.parse_table_ref()
+        self.expect_keyword("ON")
+        cond = self.parse_expr()
+        return Node(L.JOIN, join_type, [left, right, Node(L.JOIN_ON, None, [cond])])
+
+    def parse_table_ref(self) -> Node:
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            stmt = self.parse_select()
+            self.expect(TokenType.RPAREN)
+            alias = self._parse_optional_alias()
+            return A.table_ref(A.subquery(stmt), alias)
+        tok = self.expect(TokenType.IDENT)
+        alias = self._parse_optional_alias()
+        return A.table_ref(A.table_name(tok.value), alias)
+
+    def parse_order_item(self) -> Node:
+        expr = self.parse_expr()
+        direction = "ASC"
+        if self.current.is_keyword("ASC", "DESC"):
+            direction = self.advance().upper()
+        return A.order_item(expr, direction)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Node:
+        return self.parse_or()
+
+    def parse_or(self) -> Node:
+        operands = [self.parse_and()]
+        while self.current.is_keyword("OR"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return A.or_(*operands)
+
+    def parse_and(self) -> Node:
+        operands = [self.parse_not()]
+        while self.current.is_keyword("AND"):
+            self.advance()
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return A.and_(*operands)
+
+    def parse_not(self) -> Node:
+        if self.accept_keyword("NOT"):
+            return A.not_(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Node:
+        left = self.parse_additive()
+
+        if (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in COMPARISON_OPS
+        ):
+            op = self.advance().value
+            right = self.parse_additive()
+            return A.binop(op, left, right)
+
+        negated = False
+        if self.current.is_keyword("NOT") and self.peek(1).is_keyword(
+            "BETWEEN", "BTWN", "IN", "LIKE"
+        ):
+            negated = True
+            self.advance()
+
+        if self.current.is_keyword("BETWEEN", "BTWN"):
+            self.advance()
+            lo = self.parse_additive()
+            # the paper's listings abbreviate "BETWEEN lo AND hi" as
+            # "BTWN lo & hi"; accept both separators
+            if self.current.is_keyword("AND"):
+                self.advance()
+            elif (
+                self.current.type is TokenType.OPERATOR and self.current.value == "&"
+            ):
+                self.advance()
+            else:
+                raise ParseError(
+                    f"expected AND in BETWEEN at {self.current.pos}",
+                    token=self.current,
+                    expected="AND",
+                )
+            hi = self.parse_additive()
+            node = A.between(left, lo, hi)
+            return A.not_(node) if negated else node
+
+        if self.current.is_keyword("IN"):
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            if self.current.is_keyword("SELECT"):
+                sub = self.parse_select()
+                self.expect(TokenType.RPAREN)
+                node = A.in_query(left, A.subquery(sub))
+            else:
+                values = [self.parse_expr()]
+                while self.current.type is TokenType.COMMA:
+                    self.advance()
+                    values.append(self.parse_expr())
+                self.expect(TokenType.RPAREN)
+                node = A.in_list(left, values)
+            return A.not_(node) if negated else node
+
+        if self.current.is_keyword("LIKE"):
+            self.advance()
+            right = self.parse_additive()
+            node = A.binop("LIKE", left, right)
+            return A.not_(node) if negated else node
+
+        if self.current.is_keyword("IS"):
+            self.advance()
+            is_not = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return A.is_null(left, negated=is_not)
+
+        return left
+
+    def parse_additive(self) -> Node:
+        left = self.parse_multiplicative()
+        while (
+            self.current.type is TokenType.OPERATOR and self.current.value in ("+", "-")
+        ) or (
+            self.current.type is TokenType.OPERATOR and self.current.value == "||"
+        ):
+            op = self.advance().value
+            right = self.parse_multiplicative()
+            left = A.binop(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Node:
+        left = self.parse_unary()
+        while True:
+            if self.current.type is TokenType.STAR:
+                # disambiguate multiplication from SELECT * / count(*): a STAR
+                # in expression position followed by an operand is a multiply
+                nxt = self.peek(1)
+                if nxt.type in (
+                    TokenType.IDENT,
+                    TokenType.NUMBER,
+                    TokenType.STRING,
+                    TokenType.LPAREN,
+                ) and not nxt.is_keyword("FROM", "WHERE"):
+                    self.advance()
+                    left = A.binop("*", left, self.parse_unary())
+                    continue
+                break
+            if self.current.type is TokenType.OPERATOR and self.current.value in (
+                "/",
+                "%",
+            ):
+                op = self.advance().value
+                left = A.binop(op, left, self.parse_unary())
+                continue
+            break
+        return left
+
+    def parse_unary(self) -> Node:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "-":
+            self.advance()
+            operand = self.parse_unary()
+            if operand.label == L.LITERAL_NUM:
+                return A.literal_num(-operand.value)
+            return A.neg(operand)
+        if self.current.type is TokenType.OPERATOR and self.current.value == "+":
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Node:
+        tok = self.current
+
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            text = tok.value
+            value: float | int
+            if any(ch in text for ch in ".eE"):
+                value = float(text)
+            else:
+                value = int(text)
+            return A.literal_num(value)
+
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return A.literal_str(tok.value)
+
+        if tok.type is TokenType.LPAREN:
+            self.advance()
+            if self.current.is_keyword("SELECT"):
+                stmt = self.parse_select()
+                self.expect(TokenType.RPAREN)
+                return A.subquery(stmt)
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return expr
+
+        if tok.type is TokenType.STAR:
+            self.advance()
+            return A.star()
+
+        if tok.is_keyword("TRUE"):
+            self.advance()
+            return A.literal_bool(True)
+        if tok.is_keyword("FALSE"):
+            self.advance()
+            return A.literal_bool(False)
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return A.literal_null()
+
+        if tok.is_keyword("CASE"):
+            return self.parse_case()
+
+        if tok.type is TokenType.IDENT:
+            return self.parse_identifier_expression()
+
+        raise ParseError(
+            f"unexpected token {tok.value!r} at {tok.pos}", token=tok
+        )
+
+    def parse_case(self) -> Node:
+        self.expect_keyword("CASE")
+        whens: list[Node] = []
+        while self.current.is_keyword("WHEN"):
+            self.advance()
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append(Node(L.WHEN, None, [cond, result]))
+        else_expr: Optional[Node] = None
+        if self.accept_keyword("ELSE"):
+            else_expr = self.parse_expr()
+        self.expect_keyword("END")
+        children = list(whens)
+        if else_expr is not None:
+            children.append(else_expr)
+        return Node(L.CASE, None, children)
+
+    def parse_identifier_expression(self) -> Node:
+        """Parse a column reference or a function call starting at an IDENT."""
+        name_tok = self.expect(TokenType.IDENT)
+
+        # function call
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            distinct = self.accept_keyword("DISTINCT")
+            args: list[Node] = []
+            if self.current.type is TokenType.RPAREN:
+                pass  # zero-argument call, e.g. today()
+            elif self.current.type is TokenType.STAR:
+                self.advance()
+                args.append(A.star())
+            else:
+                args.append(self.parse_expr())
+                while self.current.type is TokenType.COMMA:
+                    self.advance()
+                    args.append(self.parse_expr())
+            self.expect(TokenType.RPAREN)
+            return A.func(name_tok.value, args, distinct=distinct)
+
+        # qualified column (t.c)
+        if self.current.type is TokenType.DOT:
+            self.advance()
+            if self.current.type is TokenType.STAR:
+                self.advance()
+                return Node(L.STAR, f"{name_tok.value}.*")
+            col_tok = self.expect(TokenType.IDENT)
+            return A.column(col_tok.value, table=name_tok.value)
+
+        return A.column(name_tok.value)
+
+
+def parse(sql: str) -> Node:
+    """Parse a SQL string into its AST. Raises :class:`ParseError` on failure."""
+    tokens = tokenize(sql)
+    return Parser(tokens, sql).parse_statement()
+
+
+def parse_many(queries: list[str]) -> list[Node]:
+    """Parse a list of SQL strings, preserving order."""
+    return [parse(q) for q in queries]

@@ -1,0 +1,231 @@
+"""Render generic AST nodes back to SQL text.
+
+Rendering serves two purposes in PI2:
+
+1. Resolved Difftrees (plain ASTs) are rendered to SQL strings so the
+   database substrate can execute them when the user manipulates the
+   interface.
+2. Unresolved Difftrees are rendered to human readable pseudo-SQL (choice
+   nodes shown as ``⟨...⟩``) which the interface layer uses for widget
+   labels and debugging output.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import L, Node
+from .errors import RenderError
+
+#: Rendering for choice nodes when ``allow_choice`` is enabled.
+_CHOICE_SEPARATORS = {
+    L.ANY: " | ",
+    L.VAL: " | ",
+    L.MULTI: " , ",
+    L.SUBSET: " , ",
+    L.OPT: " | ",
+}
+
+
+class SqlRenderer:
+    """Stateless renderer from :class:`Node` trees to SQL strings."""
+
+    def __init__(self, allow_choice: bool = False) -> None:
+        self.allow_choice = allow_choice
+
+    # -- public API --------------------------------------------------------
+
+    def render(self, node: Node) -> str:
+        """Render any node to text. Dispatches on the node label."""
+        method = getattr(self, f"_render_{node.label}", None)
+        if method is not None:
+            return method(node)
+        if node.label == L.EMPTY:
+            return "∅" if self.allow_choice else ""
+        if node.label in L.CHOICE_LABELS or node.label == L.CO_OPT:
+            return self._render_choice(node)
+        raise RenderError(f"cannot render node with label {node.label!r}")
+
+    # -- statements ----------------------------------------------------------
+
+    def _render_select_stmt(self, node: Node) -> str:
+        parts = [self.render(child) for child in node.children]
+        return " ".join(p for p in parts if p)
+
+    def _render_select_clause(self, node: Node) -> str:
+        distinct = "DISTINCT " if node.value == "DISTINCT" else ""
+        items = ", ".join(self.render(c) for c in node.children)
+        return f"SELECT {distinct}{items}"
+
+    def _render_select_item(self, node: Node) -> str:
+        expr = self.render(node.children[0])
+        if len(node.children) > 1 and node.children[1].label == L.ALIAS:
+            return f"{expr} AS {node.children[1].value}"
+        return expr
+
+    def _render_alias(self, node: Node) -> str:
+        return str(node.value)
+
+    def _render_from_clause(self, node: Node) -> str:
+        refs = ", ".join(self.render(c) for c in node.children)
+        return f"FROM {refs}"
+
+    def _render_table_ref(self, node: Node) -> str:
+        source = self.render(node.children[0])
+        if len(node.children) > 1 and node.children[1].label == L.ALIAS:
+            return f"{source} AS {node.children[1].value}"
+        return source
+
+    def _render_table_name(self, node: Node) -> str:
+        return str(node.value)
+
+    def _render_subquery(self, node: Node) -> str:
+        return f"({self.render(node.children[0])})"
+
+    def _render_join(self, node: Node) -> str:
+        left, right, on = node.children
+        join_type = node.value or "INNER"
+        return (
+            f"{self.render(left)} {join_type} JOIN {self.render(right)} "
+            f"{self.render(on)}"
+        )
+
+    def _render_join_on(self, node: Node) -> str:
+        return f"ON {self.render(node.children[0])}"
+
+    def _render_where_clause(self, node: Node) -> str:
+        return f"WHERE {self.render(node.children[0])}"
+
+    def _render_groupby_clause(self, node: Node) -> str:
+        return "GROUP BY " + ", ".join(self.render(c) for c in node.children)
+
+    def _render_having_clause(self, node: Node) -> str:
+        return f"HAVING {self.render(node.children[0])}"
+
+    def _render_orderby_clause(self, node: Node) -> str:
+        return "ORDER BY " + ", ".join(self.render(c) for c in node.children)
+
+    def _render_order_item(self, node: Node) -> str:
+        direction = f" {node.value}" if node.value and node.value != "ASC" else ""
+        return f"{self.render(node.children[0])}{direction}"
+
+    def _render_limit_clause(self, node: Node) -> str:
+        text = f"LIMIT {self.render(node.children[0])}"
+        if len(node.children) > 1:
+            text += f" OFFSET {self.render(node.children[1])}"
+        return text
+
+    # -- expressions -----------------------------------------------------------
+
+    def _render_and(self, node: Node) -> str:
+        return " AND ".join(self._paren_bool(c) for c in node.children)
+
+    def _render_or(self, node: Node) -> str:
+        return "(" + " OR ".join(self._paren_bool(c) for c in node.children) + ")"
+
+    def _paren_bool(self, node: Node) -> str:
+        text = self.render(node)
+        if node.label in (L.OR,) and not text.startswith("("):
+            return f"({text})"
+        return text
+
+    def _render_not(self, node: Node) -> str:
+        return f"NOT ({self.render(node.children[0])})"
+
+    def _render_binop(self, node: Node) -> str:
+        left, right = node.children
+        return f"{self.render(left)} {node.value} {self.render(right)}"
+
+    def _render_between(self, node: Node) -> str:
+        expr, lo, hi = node.children
+        return (
+            f"{self.render(expr)} BETWEEN {self.render(lo)} AND {self.render(hi)}"
+        )
+
+    def _render_in_list(self, node: Node) -> str:
+        expr = self.render(node.children[0])
+        values = ", ".join(self.render(c) for c in node.children[1:])
+        return f"{expr} IN ({values})"
+
+    def _render_in_query(self, node: Node) -> str:
+        expr = self.render(node.children[0])
+        return f"{expr} IN {self.render(node.children[1])}"
+
+    def _render_is_null(self, node: Node) -> str:
+        negation = " NOT" if node.value == "NOT" else ""
+        return f"{self.render(node.children[0])} IS{negation} NULL"
+
+    def _render_func(self, node: Node) -> str:
+        name = str(node.value)
+        distinct = ""
+        if name.endswith(" distinct"):
+            name = name[: -len(" distinct")]
+            distinct = "DISTINCT "
+        args = ", ".join(self.render(c) for c in node.children)
+        return f"{name}({distinct}{args})"
+
+    def _render_case(self, node: Node) -> str:
+        parts = ["CASE"]
+        for child in node.children:
+            if child.label == L.WHEN:
+                cond, result = child.children
+                parts.append(f"WHEN {self.render(cond)} THEN {self.render(result)}")
+            else:
+                parts.append(f"ELSE {self.render(child)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _render_when(self, node: Node) -> str:
+        cond, result = node.children
+        return f"WHEN {self.render(cond)} THEN {self.render(result)}"
+
+    def _render_column(self, node: Node) -> str:
+        return str(node.value)
+
+    def _render_star(self, node: Node) -> str:
+        return str(node.value or "*")
+
+    def _render_literal_num(self, node: Node) -> str:
+        value = node.value
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def _render_literal_str(self, node: Node) -> str:
+        escaped = str(node.value).replace("'", "''")
+        return f"'{escaped}'"
+
+    def _render_literal_bool(self, node: Node) -> str:
+        return "TRUE" if node.value else "FALSE"
+
+    def _render_literal_null(self, node: Node) -> str:
+        return "NULL"
+
+    def _render_neg(self, node: Node) -> str:
+        return f"-{self.render(node.children[0])}"
+
+    def _render_param(self, node: Node) -> str:
+        return f":{node.value}"
+
+    def _render_empty(self, node: Node) -> str:
+        return ""
+
+    # -- choice nodes -----------------------------------------------------------
+
+    def _render_choice(self, node: Node) -> str:
+        if not self.allow_choice:
+            raise RenderError(
+                f"unresolved choice node {node.label} cannot be rendered to SQL; "
+                "bind the Difftree first"
+            )
+        sep = _CHOICE_SEPARATORS.get(node.label, " | ")
+        inner = sep.join(self.render(c) for c in node.children)
+        return f"⟨{node.label} {inner}⟩"
+
+
+def to_sql(node: Node) -> str:
+    """Render a resolved AST (no choice nodes) to an executable SQL string."""
+    return SqlRenderer(allow_choice=False).render(node)
+
+
+def to_pseudo_sql(node: Node) -> str:
+    """Render any tree (including Difftrees) to human readable pseudo-SQL."""
+    return SqlRenderer(allow_choice=True).render(node)

@@ -1,0 +1,110 @@
+"""Token definitions for the SQL lexer.
+
+The lexer produces a flat list of :class:`Token` objects.  Token kinds are
+deliberately coarse: keywords are recognised by the parser from IDENT tokens
+using a case-insensitive keyword table, which keeps the lexer simple and lets
+identifiers shadow non-reserved keywords (e.g. a column literally named
+``date``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories emitted by :class:`repro.sqlparser.lexer.Lexer`."""
+
+    IDENT = "ident"        # bare identifiers and keywords
+    NUMBER = "number"      # integer or float literal
+    STRING = "string"      # quoted string literal (quotes stripped)
+    OPERATOR = "operator"  # comparison / arithmetic operators
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the parser (upper-cased for comparison).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "BTWN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "ASC",
+        "DESC",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "OUTER",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "UNION",
+        "ALL",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can use greedy match.
+MULTI_CHAR_OPERATORS = ("<>", "!=", ">=", "<=", "||", "&&")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = ("=", ">", "<", "+", "-", "/", "%", "&")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: lexical category.
+        value: the literal text of the token.  For STRING tokens the quotes
+            have been stripped; for NUMBER tokens the original spelling is
+            preserved (so ``1.50`` round-trips).
+        pos: character offset of the first character of the token in the
+            original input, used for error messages.
+    """
+
+    type: TokenType
+    value: str
+    pos: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True if this token is an IDENT matching any keyword name."""
+        return self.type is TokenType.IDENT and self.value.upper() in {
+            n.upper() for n in names
+        }
+
+    def upper(self) -> str:
+        """Upper-cased token text (used for keyword comparisons)."""
+        return self.value.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.pos})"

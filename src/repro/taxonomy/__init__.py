@@ -1,0 +1,5 @@
+"""Yi et al. interaction-taxonomy classification of generated interfaces."""
+
+from .yi import DATA_CATEGORIES, OUT_OF_SCOPE, TaxonomyReport, classify_interface
+
+__all__ = ["DATA_CATEGORIES", "OUT_OF_SCOPE", "TaxonomyReport", "classify_interface"]

@@ -1,0 +1,142 @@
+"""Classifying generated interfaces under Yi et al.'s interaction taxonomy.
+
+Section 7.1 of the paper evaluates PI2's expressiveness by showing interfaces
+that cover the data-oriented categories of Yi et al. (InfoVis 2007):
+
+* **Select** — mark something interesting (every clickable chart supports it);
+* **Explore** — show a different subset of the data (pan / zoom);
+* **Abstract** — change the level of detail (overview + detail, zoom);
+* **Filter** — show something conditionally (predicates bound to widgets or
+  brushes, cross-filtering);
+* **Connect** — show related items (interactions in one view updating another);
+* **Encode** / **Reconfigure** — visual-representation changes that are not
+  query-level transformations (out of scope for PI2, as in the paper).
+
+:func:`classify_interface` inspects a generated :class:`Interface` and
+reports which categories its interactions realise, which is what the
+Figure-14 benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interface.spec import Interface
+from ..sqlparser.ast_nodes import L
+
+#: The data-oriented categories PI2 claims to express.
+DATA_CATEGORIES = ("select", "explore", "abstract", "filter", "connect")
+
+#: Categories that are presentation-only and out of PI2's scope.
+OUT_OF_SCOPE = ("encode", "reconfigure")
+
+
+@dataclass
+class TaxonomyReport:
+    """Which Yi et al. categories an interface covers, with justifications."""
+
+    categories: set[str] = field(default_factory=set)
+    evidence: dict[str, list[str]] = field(default_factory=dict)
+
+    def add(self, category: str, reason: str) -> None:
+        self.categories.add(category)
+        self.evidence.setdefault(category, []).append(reason)
+
+    def covers(self, *categories: str) -> bool:
+        return all(c in self.categories for c in categories)
+
+    def describe(self) -> str:
+        lines = []
+        for category in DATA_CATEGORIES:
+            mark = "✓" if category in self.categories else "✗"
+            reasons = "; ".join(self.evidence.get(category, []))
+            lines.append(f"{mark} {category}: {reasons}")
+        return "\n".join(lines)
+
+
+def classify_interface(interface: Interface) -> TaxonomyReport:
+    """Classify the interaction types of a generated interface."""
+    report = TaxonomyReport()
+
+    clickable = any(
+        "click" in view.vis.vis_type.interactions for view in interface.views
+    )
+    if clickable or interface.interactions:
+        report.add("select", "charts support click selection")
+
+    for applied in interface.interactions:
+        candidate = applied.candidate
+        name = candidate.interaction
+        cross_view = any(
+            target_tree != candidate.source_tree_index
+            for _, _, target_tree in candidate.stream_bindings
+        )
+        binds_predicate = _binds_predicate(candidate)
+
+        if name in ("pan", "zoom"):
+            report.add("explore", f"{name} changes the visible data window")
+            report.add("abstract", f"{name} changes the level of detail")
+        if name.startswith("brush"):
+            report.add("select", f"{name} selects a data interval")
+            if binds_predicate:
+                report.add("filter", f"{name} drives a range predicate")
+            if cross_view:
+                report.add("connect", f"{name} in one view updates another view")
+                report.add("abstract", "overview chart drives a detail chart")
+        if name in ("click", "multi-click"):
+            report.add("select", f"{name} selects marks")
+            if binds_predicate:
+                report.add("filter", f"{name} drives a predicate value")
+            if cross_view:
+                report.add("connect", f"{name} highlights related data elsewhere")
+
+    for widget in interface.widgets:
+        if _widget_controls_predicate(widget):
+            report.add("filter", f"{widget.candidate.widget.name} controls a predicate")
+        if widget.candidate.widget.name == "toggle":
+            report.add("filter", "toggle enables / disables a clause")
+
+    if interface.num_views() >= 2 and any(
+        any(
+            target_tree != applied.candidate.source_tree_index
+            for _, _, target_tree in applied.candidate.stream_bindings
+        )
+        for applied in interface.interactions
+    ):
+        report.add("connect", "multiple coordinated views")
+
+    return report
+
+
+def _parameterises_predicate(node) -> bool:
+    """True when the node (or its subtree) parameterises a filter predicate.
+
+    Two cases: the node is an ancestor dynamic node whose subtree contains a
+    comparison / BETWEEN / IN, or the node is a choice node over literal
+    values (literals only appear as predicate operands in the workloads PI2
+    targets — interactions that emit data values bind exactly these).
+    """
+    from ..difftree.nodes import AnyNode, ValNode
+
+    for descendant in node.walk():
+        if descendant.label in (L.BINOP, L.BETWEEN, L.IN_LIST, L.IN_QUERY):
+            return True
+    if isinstance(node, ValNode):
+        return True
+    if isinstance(node, AnyNode) and node.children and all(
+        c.label in (L.LITERAL_NUM, L.LITERAL_STR, L.LITERAL_BOOL, L.EMPTY)
+        for c in node.children
+    ):
+        return True
+    return False
+
+
+def _binds_predicate(candidate) -> bool:
+    """True when the interaction's target nodes parameterise predicates."""
+    return any(
+        _parameterises_predicate(node) for _, node, _ in candidate.stream_bindings
+    )
+
+
+def _widget_controls_predicate(widget) -> bool:
+    return _parameterises_predicate(widget.candidate.node)

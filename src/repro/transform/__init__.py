@@ -1,0 +1,43 @@
+"""Difftree transformation rules and the engine that applies them."""
+
+from .engine import TransformEngine
+from .paths import Path, iter_paths, node_at, parent_of, replace_at
+from .rules import (
+    DEFAULT_RULES,
+    AnyToMultiRule,
+    AnyToSubsetRule,
+    AnyToValRule,
+    Application,
+    MergeAnyRule,
+    MergeTreesRule,
+    NoopRule,
+    PartitionRule,
+    PushAnyRule,
+    PushOptListRule,
+    SplitTreeRule,
+    TransformContext,
+    TransformRule,
+)
+
+__all__ = [
+    "AnyToMultiRule",
+    "AnyToSubsetRule",
+    "AnyToValRule",
+    "Application",
+    "DEFAULT_RULES",
+    "MergeAnyRule",
+    "MergeTreesRule",
+    "NoopRule",
+    "PartitionRule",
+    "Path",
+    "PushAnyRule",
+    "PushOptListRule",
+    "SplitTreeRule",
+    "TransformContext",
+    "TransformEngine",
+    "TransformRule",
+    "iter_paths",
+    "node_at",
+    "parent_of",
+    "replace_at",
+]

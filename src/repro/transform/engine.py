@@ -1,0 +1,155 @@
+"""Transformation engine: enumerate and apply rules over a list of Difftrees.
+
+The engine filters rule applications for *safety* — a transformed state is
+only kept when its Difftrees still collectively express every input query —
+so the search space exposed to MCTS always satisfies the paper's guarantee
+that any reachable state expresses the input log.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..database.catalog import Catalog
+from ..database.executor import Executor
+from ..difftree.tree import Difftree
+from ..sqlparser.ast_nodes import Node
+from .rules import DEFAULT_RULES, Application, TransformContext, TransformRule
+
+
+class TransformEngine:
+    """Enumerates valid transformations for a list of Difftrees."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        executor: Optional[Executor] = None,
+        rules: Optional[Sequence[TransformRule]] = None,
+        max_applications: int = 48,
+        enable_cache: bool = True,
+    ) -> None:
+        self.ctx = TransformContext(catalog, executor)
+        self.rules = list(rules) if rules is not None else list(DEFAULT_RULES)
+        self.max_applications = max_applications
+        self.enable_cache = enable_cache
+        self._app_cache: dict[tuple[str, ...], list[Application]] = {}
+        #: (tree fingerprint, query fingerprint) → expressible?  Coverage
+        #: verification dominates search time without this cache because the
+        #: same tree structures are re-verified across MCTS iterations.
+        self._express_cache: dict[tuple[str, str], bool] = {}
+
+    # -- enumeration --------------------------------------------------------
+
+    def applications(
+        self, trees: Sequence[Difftree], rng: Optional[random.Random] = None
+    ) -> list[Application]:
+        """All valid rule applications for the given state (bounded).
+
+        When more applications exist than ``max_applications``, a random
+        (seeded) subset is kept so MCTS expansion stays tractable.  Results
+        are cached per state fingerprint — rollouts revisit states often, and
+        re-enumerating rules dominates search time otherwise (this is one of
+        the paper's "simple optimizations").
+        """
+        cache_key: Optional[tuple[str, ...]] = None
+        if self.enable_cache:
+            cache_key = tuple(sorted(t.fingerprint() for t in trees))
+            if cache_key in self._app_cache:
+                return self._app_cache[cache_key]
+        apps: list[Application] = []
+        for rule in self.rules:
+            try:
+                apps.extend(rule.applications(trees, self.ctx))
+            except Exception:
+                # a rule failing on an exotic tree should never kill the search
+                continue
+        if len(apps) > self.max_applications:
+            rng = rng or random.Random(0)
+            apps = rng.sample(apps, self.max_applications)
+        if cache_key is not None:
+            self._app_cache[cache_key] = apps
+        return apps
+
+    # -- application ---------------------------------------------------------------
+
+    def apply(
+        self, application: Application, verify: bool = True
+    ) -> Optional[list[Difftree]]:
+        """Apply one transformation; returns ``None`` when it breaks coverage."""
+        try:
+            new_trees = application.apply()
+        except Exception:
+            return None
+        if verify and not self.covers_all_queries(new_trees):
+            return None
+        return new_trees
+
+    def refactor_to_fixpoint(
+        self, trees: Sequence[Difftree], max_steps: int = 200
+    ) -> list[Difftree]:
+        """Deterministically apply refactoring / simplification / ANY→VAL rules
+        until none applies.
+
+        This reproduces the canonical rule sequence of the paper's Figure 12
+        (Merge → Partition → PushANY → ANY→VAL) as a preprocessing step: the
+        resulting Difftrees isolate exactly the syntactic differences between
+        the queries, and MCTS then explores alternative structures (merging
+        views, SUBSET/MULTI generalisations, splits) from that starting point.
+        Every applied rule preserves expressiveness, so the refined state still
+        expresses the whole input log.
+        """
+        from .rules import AnyToValRule, MergeAnyRule, NoopRule, PushAnyRule
+
+        ordered_rules = [MergeAnyRule(), NoopRule(), PushAnyRule(), AnyToValRule()]
+        current = [t.copy() for t in trees]
+        seen_states = {tuple(sorted(t.fingerprint() for t in current))}
+        for _ in range(max_steps):
+            progressed = False
+            for rule in ordered_rules:
+                apps = rule.applications(current, self.ctx)
+                for app in apps:
+                    new_trees = self.apply(app)
+                    if new_trees is None:
+                        continue
+                    fingerprint = tuple(sorted(t.fingerprint() for t in new_trees))
+                    if fingerprint in seen_states:
+                        continue
+                    seen_states.add(fingerprint)
+                    current = new_trees
+                    progressed = True
+                    break
+                if progressed:
+                    break
+            if not progressed:
+                break
+        return current
+
+    def covers_all_queries(self, trees: Sequence[Difftree]) -> bool:
+        """Every input query must be expressible by at least one Difftree."""
+        all_queries: list[Node] = []
+        seen: set[str] = set()
+        for tree in trees:
+            for q in tree.queries:
+                fp = q.fingerprint()
+                if fp not in seen:
+                    seen.add(fp)
+                    all_queries.append(q)
+        for query in all_queries:
+            if not any(
+                self._tree_expresses(tree, query)
+                for tree in trees
+                if any(
+                    q.fingerprint() == query.fingerprint() for q in tree.queries
+                )
+            ):
+                return False
+        return True
+
+    def _tree_expresses(self, tree: Difftree, query: Node) -> bool:
+        key = (tree.fingerprint(), query.fingerprint())
+        if key not in self._express_cache:
+            from ..difftree.match import expresses
+
+            self._express_cache[key] = expresses(tree.root, query)
+        return self._express_cache[key]

@@ -1,0 +1,54 @@
+"""Node addressing inside Difftrees.
+
+Transformation rules never mutate the tree they were enumerated on: they copy
+the Difftree and then rewrite the copy.  Nodes are therefore addressed by
+*paths* (tuples of child indices from the root), which stay valid across the
+copy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..sqlparser.ast_nodes import Node
+
+Path = tuple[int, ...]
+
+
+def iter_paths(root: Node) -> Iterator[tuple[Path, Node]]:
+    """Yield (path, node) for every node in the tree, in pre-order."""
+
+    def walk(node: Node, path: Path) -> Iterator[tuple[Path, Node]]:
+        yield path, node
+        for i, child in enumerate(node.children):
+            yield from walk(child, path + (i,))
+
+    yield from walk(root, ())
+
+
+def node_at(root: Node, path: Path) -> Node:
+    """The node at ``path`` (the root itself for the empty path)."""
+    node = root
+    for index in path:
+        node = node.children[index]
+    return node
+
+
+def parent_of(root: Node, path: Path) -> Optional[Node]:
+    """The parent of the node at ``path`` (``None`` for the root)."""
+    if not path:
+        return None
+    return node_at(root, path[:-1])
+
+
+def replace_at(root: Node, path: Path, new_node: Node) -> Node:
+    """Replace the node at ``path`` in place; returns the (possibly new) root.
+
+    Replacing the root returns ``new_node``; all other replacements mutate the
+    parent's child list and return the original root.
+    """
+    if not path:
+        return new_node
+    parent = node_at(root, path[:-1])
+    parent.children[path[-1]] = new_node
+    return root

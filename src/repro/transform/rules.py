@@ -1,0 +1,720 @@
+"""Difftree transformation rules (paper Section 6.1, Figure 13).
+
+Rules come in four categories:
+
+* **Refactoring** — PushANY, PushOPT, Partition: isolate the precise
+  differences between queries by pushing choice nodes towards the leaves.
+* **Cross-tree** — Merge, Split: combine several Difftrees under a fresh
+  ``ANY`` root, or break an ``ANY``-rooted Difftree apart.
+* **Mutation** — ANY→VAL, ANY→MULTI, ANY→SUBSET: generalise a choice node to
+  a more expressive one (numeric sliders, repeated lists, optional subsets).
+* **Simplification** — Noop, MergeANY: remove redundant structure.
+
+Every rule preserves or increases the expressiveness of the Difftrees, so any
+state reachable from the initial per-query trees still expresses the input
+queries.  Rules are enumerated as :class:`Application` objects (rule +
+location); applying one returns a *new* list of Difftrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..database.catalog import Catalog
+from ..database.executor import Executor
+from ..sqlparser.ast_nodes import L, Node, empty
+from ..difftree.nodes import (
+    AnyNode,
+    ChoiceNode,
+    MultiNode,
+    OptNode,
+    SubsetNode,
+    ValNode,
+)
+from ..difftree.schema import TypeAnnotator, union_result_schemas
+from ..difftree.tree import Difftree
+from ..difftree.types import PiType, union_types
+from .paths import Path, iter_paths, node_at, replace_at
+
+#: Canonical ordering of SELECT statement clauses, used when PushANY aligns
+#: children of statement nodes whose clause sets differ.
+_CLAUSE_ORDER = [
+    L.SELECT_CLAUSE,
+    L.FROM_CLAUSE,
+    L.WHERE_CLAUSE,
+    L.GROUPBY_CLAUSE,
+    L.HAVING_CLAUSE,
+    L.ORDERBY_CLAUSE,
+    L.LIMIT_CLAUSE,
+]
+
+
+@dataclass
+class Application:
+    """One applicable transformation: a rule at a specific location."""
+
+    rule_name: str
+    category: str
+    description: str
+    apply: Callable[[], list[Difftree]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Application({self.rule_name}: {self.description})"
+
+
+class TransformContext:
+    """Shared context rules may need (catalogue / executor for schema checks)."""
+
+    def __init__(
+        self, catalog: Optional[Catalog] = None, executor: Optional[Executor] = None
+    ) -> None:
+        self.catalog = catalog
+        self.executor = executor
+
+
+class TransformRule:
+    """Base class: enumerate applications of one rule over a list of Difftrees."""
+
+    name = "abstract"
+    category = "abstract"
+
+    def applications(
+        self, trees: Sequence[Difftree], ctx: TransformContext
+    ) -> list[Application]:
+        raise NotImplementedError
+
+    # -- helpers shared by node-local rules ----------------------------------
+
+    def _tree_applications(
+        self,
+        trees: Sequence[Difftree],
+        ctx: TransformContext,
+        finder: Callable[[Difftree, TransformContext], list[tuple[Path, str]]],
+        rewriter: Callable[[Node, Path, TransformContext], Node],
+    ) -> list[Application]:
+        apps: list[Application] = []
+        for tree_idx, tree in enumerate(trees):
+            for path, description in finder(tree, ctx):
+                apps.append(
+                    self._make_application(
+                        trees, tree_idx, path, description, rewriter, ctx
+                    )
+                )
+        return apps
+
+    def _make_application(
+        self,
+        trees: Sequence[Difftree],
+        tree_idx: int,
+        path: Path,
+        description: str,
+        rewriter: Callable[[Node, Path, TransformContext], Node],
+        ctx: TransformContext,
+    ) -> Application:
+        def apply() -> list[Difftree]:
+            new_trees = [t.copy() for t in trees]
+            target = new_trees[tree_idx]
+            new_root = rewriter(target.root, path, ctx)
+            new_trees[tree_idx] = Difftree(new_root, target.queries)
+            return new_trees
+
+        return Application(self.name, self.category, description, apply)
+
+
+# ---------------------------------------------------------------------------
+# Refactoring rules
+# ---------------------------------------------------------------------------
+
+
+class PushAnyRule(TransformRule):
+    """Push an ANY below children that share the same root node.
+
+    ``ANY(A(x,y), A(x',y))`` becomes ``A(ANY(x,x'), y)``.  When the children's
+    child lists differ in which clauses/elements are present (e.g. one query
+    has a WHERE clause and another does not), the missing positions become
+    OPT-style ANYs with an empty alternative.
+    """
+
+    name = "PushANY"
+    category = "refactoring"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            children = node.non_empty_children()
+            if len(children) < 2:
+                continue
+            if any(isinstance(c, ChoiceNode) for c in children):
+                continue
+            signatures = {c.signature() for c in children}
+            if len(signatures) != 1:
+                continue
+            if self._alignment(children) is None:
+                continue
+            found.append((path, f"push ANY below {children[0].label}"))
+        return found
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        children = node.non_empty_children()
+        alignment = self._alignment(children)
+        assert alignment is not None
+        template = children[0]
+        new_children: list[Node] = []
+        for slot in alignment:
+            variants = [c.children[i] for c, i in zip(children, slot) if i is not None]
+            missing = any(i is None for i in slot)
+            distinct: list[Node] = []
+            for v in variants:
+                if not any(v == d for d in distinct):
+                    distinct.append(v)
+            if len(distinct) == 1 and not missing:
+                new_children.append(distinct[0].copy())
+            else:
+                alternatives = [d.copy() for d in distinct]
+                if missing:
+                    alternatives.append(empty())
+                new_children.append(AnyNode(alternatives))
+        new_node: Node = Node(template.label, template.value, new_children)
+        if node.is_opt:
+            # the original ANY also offered an empty alternative (e.g. a query
+            # without a WHERE clause); keep that option above the pushed node
+            new_node = AnyNode([new_node, empty()], node_id=node.node_id)
+        return replace_at(root, path, new_node)
+
+    def _alignment(self, children: list[Node]) -> Optional[list[tuple]]:
+        """Align the children's child lists position-by-position.
+
+        Three strategies, tried in order:
+
+        1. identical arity → positional alignment;
+        2. unique child labels (e.g. SELECT-statement clauses) → align by
+           label, ordered canonically;
+        3. predicate lists (conjunctions) → align by a key derived from the
+           predicate's shape and the attribute it constrains, so that
+           ``state = 'CA'`` lines up with ``state = 'WA'`` and ``date > …``
+           with ``date > …`` even when some queries omit predicates.
+
+        Returns a list of slots; each slot is a tuple with, per child, the
+        index of the aligned grandchild (or ``None`` when absent).  Returns
+        ``None`` when no consistent alignment exists.
+        """
+        arities = {len(c.children) for c in children}
+        if len(arities) == 1:
+            width = arities.pop()
+            if width == 0:
+                return None
+            return [tuple(i for _ in children) for i in range(width)]
+
+        # strategy 2: align by child label when labels are unique per child
+        label_lists = [[gc.label for gc in c.children] for c in children]
+        if all(len(set(labels)) == len(labels) for labels in label_lists):
+            all_labels: list[str] = []
+            for labels in label_lists:
+                for lbl in labels:
+                    if lbl not in all_labels:
+                        all_labels.append(lbl)
+            # order clause labels canonically so the statement stays valid
+            all_labels.sort(
+                key=lambda lbl: (
+                    _CLAUSE_ORDER.index(lbl)
+                    if lbl in _CLAUSE_ORDER
+                    else len(_CLAUSE_ORDER),
+                )
+            )
+            slots = []
+            for lbl in all_labels:
+                slot = []
+                for labels in label_lists:
+                    slot.append(labels.index(lbl) if lbl in labels else None)
+                slots.append(tuple(slot))
+            return slots
+
+        # strategy 3: align predicate lists by (shape, constrained attribute)
+        if children[0].label in L.LIST_LABELS:
+            key_lists = [
+                [self._predicate_key(gc) for gc in c.children] for c in children
+            ]
+            if any(
+                len(set(keys)) != len(keys) or None in keys for keys in key_lists
+            ):
+                return None
+            all_keys: list = []
+            for keys in key_lists:
+                for key in keys:
+                    if key not in all_keys:
+                        all_keys.append(key)
+            slots = []
+            for key in all_keys:
+                slot = []
+                for keys in key_lists:
+                    slot.append(keys.index(key) if key in keys else None)
+                slots.append(tuple(slot))
+            return slots
+        return None
+
+    @staticmethod
+    def _predicate_key(node: Node):
+        """Alignment key of a conjunct: its shape plus the column it touches."""
+        first_column = None
+        for descendant in node.walk():
+            if descendant.label == L.COLUMN:
+                first_column = str(descendant.value)
+                break
+        if first_column is None:
+            return None
+        return (node.label, node.value, first_column)
+
+
+class PushOptListRule(TransformRule):
+    """PushOPT2: push an OPT over a list node down to each of its elements.
+
+    ``OPT(List(x, y))`` becomes ``List(OPT(x), OPT(y))``, which is strictly
+    more expressive (each element can now be toggled independently).
+    """
+
+    name = "PushOPT2"
+    category = "refactoring"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            target = self._opt_list_child(node)
+            if target is not None and len(target.children) >= 2:
+                found.append((path, f"push OPT into {target.label}"))
+        return found
+
+    @staticmethod
+    def _opt_list_child(node: Node) -> Optional[Node]:
+        if isinstance(node, OptNode) and node.child.label in L.LIST_LABELS:
+            return node.child
+        if (
+            isinstance(node, AnyNode)
+            and node.is_opt
+            and len(node.non_empty_children()) == 1
+            and node.non_empty_children()[0].label in L.LIST_LABELS
+        ):
+            return node.non_empty_children()[0]
+        return None
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        target = self._opt_list_child(node)
+        assert target is not None
+        new_children = [
+            c.copy() if isinstance(c, (OptNode,)) else AnyNode([c.copy(), empty()])
+            for c in target.children
+        ]
+        new_node = Node(target.label, target.value, new_children)
+        return replace_at(root, path, new_node)
+
+
+class PartitionRule(TransformRule):
+    """Group an ANY's children into clusters with the same root signature.
+
+    ``ANY(A(..), A(..), B(..))`` becomes ``ANY(ANY(A(..), A(..)), B(..))``,
+    which isolates homogeneous clusters so PushANY can fire on them.
+    """
+
+    name = "Partition"
+    category = "refactoring"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or isinstance(node, (ValNode,)):
+                continue
+            children = node.non_empty_children()
+            if len(children) < 3:
+                continue
+            groups = self._group(children)
+            if len(groups) < 2 or all(len(g) == 1 for g in groups.values()):
+                continue
+            found.append((path, f"partition {len(children)} alternatives"))
+        return found
+
+    @staticmethod
+    def _group(children: list[Node]) -> dict:
+        groups: dict[tuple, list[Node]] = {}
+        for c in children:
+            groups.setdefault(c.signature(), []).append(c)
+        return groups
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        children = node.non_empty_children()
+        had_empty = node.is_opt
+        groups = self._group(children)
+        new_children: list[Node] = []
+        for group in groups.values():
+            if len(group) == 1:
+                new_children.append(group[0].copy())
+            else:
+                new_children.append(AnyNode([g.copy() for g in group]))
+        if had_empty:
+            new_children.append(empty())
+        new_node = AnyNode(new_children, node_id=node.node_id)
+        return replace_at(root, path, new_node)
+
+
+# ---------------------------------------------------------------------------
+# Mutation rules
+# ---------------------------------------------------------------------------
+
+
+class AnyToValRule(TransformRule):
+    """Generalise an ANY over literals to a VAL node over the literals' domain.
+
+    Requires all (non-empty) children to be literals of compatible types; the
+    VAL's type is the union of the literal types, specialised to an attribute
+    type when the comparison context allows it (paper Figure 3(c)).
+    """
+
+    name = "ANY→VAL"
+    category = "mutation"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        annotator = tree.annotator(ctx.catalog) if ctx.catalog else None
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            children = node.non_empty_children()
+            if node.is_opt or not children:
+                continue
+            if not all(
+                c.label in (L.LITERAL_NUM, L.LITERAL_STR, L.LITERAL_BOOL)
+                for c in children
+            ):
+                continue
+            found.append((path, f"generalise {len(children)} literals to VAL"))
+        _ = annotator
+        return found
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        children = [c.copy() for c in node.non_empty_children()]
+        pitype = node.pitype
+        if pitype is None and ctx.catalog is not None:
+            annotator = TypeAnnotator(ctx.catalog)
+            annotator.annotate(root)
+            pitype = union_types([annotator.type_of(c) for c in node.non_empty_children()])
+        if pitype is None:
+            pitype = (
+                PiType.num()
+                if all(c.label == L.LITERAL_NUM for c in children)
+                else PiType.str_()
+            )
+        new_node = ValNode(children, pitype=pitype, node_id=node.node_id)
+        return replace_at(root, path, new_node)
+
+
+class AnyToSubsetRule(TransformRule):
+    """Generalise an ANY over same-labelled list nodes into a SUBSET list.
+
+    ``ANY(List(x,y,z), List(x,z))`` becomes ``List(SUBSET(x,y,z))`` when each
+    alternative's elements form an (ordered) subset of the union of elements.
+    """
+
+    name = "ANY→SUBSET"
+    category = "mutation"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            children = node.non_empty_children()
+            if len(children) < 2 or any(isinstance(c, ChoiceNode) for c in children):
+                continue
+            if len({c.signature() for c in children}) != 1:
+                continue
+            if children[0].label not in L.LIST_LABELS:
+                continue
+            union = self._union_elements(children)
+            if union is None or len(union) < 2:
+                continue
+            found.append((path, f"generalise lists to SUBSET of {len(union)}"))
+        return found
+
+    @staticmethod
+    def _union_elements(children: list[Node]) -> Optional[list[Node]]:
+        union: list[Node] = []
+        for child in children:
+            for element in child.children:
+                if not any(element == u for u in union):
+                    union.append(element)
+        # each alternative must be an ordered subsequence of the union
+        for child in children:
+            positions = []
+            for element in child.children:
+                for i, u in enumerate(union):
+                    if element == u:
+                        positions.append(i)
+                        break
+            if positions != sorted(positions) or len(positions) != len(child.children):
+                return None
+        return union
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        children = node.non_empty_children()
+        union = self._union_elements(children)
+        assert union is not None
+        template = children[0]
+        sep = L.LIST_SEPARATORS.get(template.label, ", ")
+        subset = SubsetNode([u.copy() for u in union], sep=sep, node_id=node.node_id)
+        new_node = Node(template.label, template.value, [subset])
+        return replace_at(root, path, new_node)
+
+
+class AnyToMultiRule(TransformRule):
+    """Generalise an ANY over same-labelled list nodes into a MULTI list.
+
+    ``ANY(List(a,a), List(b))`` becomes ``List(MULTI(ANY(a,b)))`` — the list
+    may repeat any of the observed element shapes an arbitrary number of
+    times (paper Figure 7(b)).
+    """
+
+    name = "ANY→MULTI"
+    category = "mutation"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            children = node.non_empty_children()
+            if len(children) < 2 or any(isinstance(c, ChoiceNode) for c in children):
+                continue
+            if len({c.signature() for c in children}) != 1:
+                continue
+            if children[0].label not in L.LIST_LABELS:
+                continue
+            elements = self._distinct_elements(children)
+            if not elements:
+                continue
+            found.append((path, f"generalise lists to MULTI over {len(elements)}"))
+        return found
+
+    @staticmethod
+    def _distinct_elements(children: list[Node]) -> list[Node]:
+        elements: list[Node] = []
+        for child in children:
+            for element in child.children:
+                if element.contains_choice():
+                    return []
+                if not any(element == e for e in elements):
+                    elements.append(element)
+        return elements
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        children = node.non_empty_children()
+        elements = self._distinct_elements(children)
+        template_list = children[0]
+        sep = L.LIST_SEPARATORS.get(template_list.label, ", ")
+        if len(elements) == 1:
+            template: Node = elements[0].copy()
+        else:
+            template = AnyNode([e.copy() for e in elements])
+        multi = MultiNode([template], sep=sep, node_id=node.node_id)
+        new_node = Node(template_list.label, template_list.value, [multi])
+        return replace_at(root, path, new_node)
+
+
+# ---------------------------------------------------------------------------
+# Simplification rules
+# ---------------------------------------------------------------------------
+
+
+class NoopRule(TransformRule):
+    """Remove ANY nodes whose alternatives are all identical."""
+
+    name = "Noop"
+    category = "simplification"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            children = node.non_empty_children()
+            if node.is_opt or len(children) < 1:
+                continue
+            if all(c == children[0] for c in children[1:]) and len(node.children) == len(
+                children
+            ):
+                if len(children) >= 2 or len(node.children) > 1:
+                    found.append((path, "remove redundant ANY"))
+                elif len(node.children) == 1:
+                    found.append((path, "unwrap single-child ANY"))
+        return found
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        replacement = node.non_empty_children()[0].copy()
+        return replace_at(root, path, replacement)
+
+
+class MergeAnyRule(TransformRule):
+    """Flatten a cascade of nested ANY nodes into a single ANY."""
+
+    name = "MergeANY"
+    category = "simplification"
+
+    def applications(self, trees, ctx):
+        return self._tree_applications(trees, ctx, self._find, self._rewrite)
+
+    def _find(self, tree: Difftree, ctx: TransformContext):
+        found = []
+        for path, node in iter_paths(tree.root):
+            if not isinstance(node, AnyNode) or node.label != L.ANY:
+                continue
+            if any(
+                isinstance(c, AnyNode) and c.label == L.ANY for c in node.children
+            ):
+                found.append((path, "flatten nested ANY"))
+        return found
+
+    def _rewrite(self, root: Node, path: Path, ctx: TransformContext) -> Node:
+        node = node_at(root, path)
+        assert isinstance(node, AnyNode)
+        flattened: list[Node] = []
+        for child in node.children:
+            if isinstance(child, AnyNode) and child.label == L.ANY:
+                flattened.extend(c.copy() for c in child.children)
+            else:
+                flattened.append(child.copy())
+        deduped: list[Node] = []
+        for c in flattened:
+            if not any(c == d for d in deduped):
+                deduped.append(c)
+        new_node = AnyNode(deduped, node_id=node.node_id)
+        return replace_at(root, path, new_node)
+
+
+# ---------------------------------------------------------------------------
+# Cross-tree rules
+# ---------------------------------------------------------------------------
+
+
+class MergeTreesRule(TransformRule):
+    """Merge two Difftrees with union-compatible result schemas into one."""
+
+    name = "Merge"
+    category = "cross-tree"
+
+    def applications(self, trees, ctx):
+        apps: list[Application] = []
+        if ctx.executor is None or len(trees) < 2:
+            return apps
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                schema_i = trees[i].result_schema(ctx.executor)
+                schema_j = trees[j].result_schema(ctx.executor)
+                if schema_i is None or schema_j is None:
+                    continue
+                if union_result_schemas([schema_i, schema_j]) is None:
+                    continue
+                apps.append(self._merge_application(trees, i, j))
+        return apps
+
+    def _merge_application(self, trees, i: int, j: int) -> Application:
+        def apply() -> list[Difftree]:
+            new_trees = [t.copy() for k, t in enumerate(trees) if k not in (i, j)]
+            left, right = trees[i], trees[j]
+            left_root = left.root.copy()
+            right_root = right.root.copy()
+            children: list[Node] = []
+            for root in (left_root, right_root):
+                if isinstance(root, AnyNode) and root.label == L.ANY:
+                    children.extend(root.children)
+                else:
+                    children.append(root)
+            merged = Difftree(AnyNode(children), left.queries + right.queries)
+            new_trees.append(merged)
+            return new_trees
+
+        return Application(
+            self.name, self.category, f"merge trees {i} and {j}", apply
+        )
+
+
+class SplitTreeRule(TransformRule):
+    """Split a Difftree rooted at an ANY into one Difftree per alternative."""
+
+    name = "Split"
+    category = "cross-tree"
+
+    def applications(self, trees, ctx):
+        apps: list[Application] = []
+        for idx, tree in enumerate(trees):
+            root = tree.root
+            if (
+                isinstance(root, AnyNode)
+                and root.label == L.ANY
+                and len(root.non_empty_children()) >= 2
+                and not root.is_opt
+            ):
+                apps.append(self._split_application(trees, idx))
+        return apps
+
+    def _split_application(self, trees, idx: int) -> Application:
+        def apply() -> list[Difftree]:
+            new_trees = [t.copy() for k, t in enumerate(trees) if k != idx]
+            tree = trees[idx]
+            root = tree.root
+            assert isinstance(root, AnyNode)
+            for child in root.non_empty_children():
+                sub = Difftree(child.copy(), tree.queries)
+                expressible = sub.expressible_queries()
+                new_trees.append(Difftree(child.copy(), expressible or tree.queries))
+            return new_trees
+
+        return Application(self.name, self.category, f"split tree {idx}", apply)
+
+
+#: The default rule set, in the order the paper presents them.
+DEFAULT_RULES: list[TransformRule] = [
+    PushAnyRule(),
+    PushOptListRule(),
+    PartitionRule(),
+    MergeTreesRule(),
+    SplitTreeRule(),
+    AnyToValRule(),
+    AnyToMultiRule(),
+    AnyToSubsetRule(),
+    NoopRule(),
+    MergeAnyRule(),
+]

@@ -1,0 +1,32 @@
+"""The paper's evaluation workloads and synthetic workload generators."""
+
+from .generators import random_range_queries, scale_workload
+from .logs import (
+    ABSTRACT,
+    CONNECT,
+    COVID,
+    EXPLORE,
+    FILTER,
+    SALES,
+    SDSS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ABSTRACT",
+    "CONNECT",
+    "COVID",
+    "EXPLORE",
+    "FILTER",
+    "SALES",
+    "SDSS",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "random_range_queries",
+    "scale_workload",
+    "workload_names",
+]

@@ -1,0 +1,74 @@
+"""Synthetic workload generators for the scalability experiments.
+
+Section 7.3 evaluates PI2's runtime as the number of input queries grows from
+9 to 900 by duplicating the Filter log.  :func:`scale_workload` reproduces
+that construction (with slight literal perturbations so duplicated queries
+are not textually identical, matching the effect of a longer real log), and
+:func:`random_range_queries` produces parameterised range-predicate logs used
+by property tests.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Optional
+
+from .logs import Workload
+
+
+def scale_workload(
+    base: Workload, total_queries: int, perturb: bool = True, seed: int = 11
+) -> Workload:
+    """Grow a workload to ``total_queries`` by repeating (and perturbing) it."""
+    rng = random.Random(seed)
+    queries: list[str] = []
+    while len(queries) < total_queries:
+        for q in base.queries:
+            if len(queries) >= total_queries:
+                break
+            if perturb and len(queries) >= len(base.queries):
+                q = _perturb_literals(q, rng)
+            queries.append(q)
+    return Workload(
+        name=f"{base.name}_x{total_queries}",
+        description=f"{base.description} (scaled to {total_queries} queries)",
+        queries=tuple(queries),
+        expected_interactions=base.expected_interactions,
+        expected_min_views=base.expected_min_views,
+        yi_categories=base.yi_categories,
+    )
+
+
+def _perturb_literals(query: str, rng: random.Random) -> str:
+    """Shift integer literals in range predicates by a small random delta."""
+
+    def shift(match: re.Match) -> str:
+        value = int(match.group(0))
+        return str(max(0, value + rng.randint(-3, 3)))
+
+    # only touch standalone integers (not dates or identifiers)
+    return re.sub(r"(?<![\w.'])\d+(?![\w.'])", shift, query)
+
+
+def random_range_queries(
+    table: str,
+    attribute: str,
+    count: int,
+    lo: float,
+    hi: float,
+    seed: int = 5,
+    select: Optional[str] = None,
+) -> list[str]:
+    """A log of ``count`` range-predicate queries over one numeric attribute."""
+    rng = random.Random(seed)
+    select_clause = select or f"SELECT {attribute} FROM {table}"
+    queries = []
+    for _ in range(count):
+        a = rng.uniform(lo, hi)
+        b = rng.uniform(lo, hi)
+        start, end = (a, b) if a <= b else (b, a)
+        queries.append(
+            f"{select_clause} WHERE {attribute} BETWEEN {start:.1f} AND {end:.1f}"
+        )
+    return queries

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are session-scoped where safe: the synthetic catalogue and the
+executor are read-only, so sharing them across tests keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.cost.model import CostModel
+from repro.database.datasets import standard_catalog
+from repro.database.executor import Executor
+from repro.difftree.builder import parse_queries
+from repro.mapping.mapper import InterfaceMapper, MapperConfig
+from repro.transform.engine import TransformEngine
+
+#: The Section-2 example queries, used throughout the unit tests.
+SECTION2_QUERIES = [
+    "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
+    "SELECT a, count(*) FROM T GROUP BY a",
+]
+
+EXPLORE_QUERIES = [
+    "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 "
+    "AND mpg BETWEEN 27 AND 38",
+    "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 "
+    "AND mpg BETWEEN 16 AND 30",
+]
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """A small synthetic catalogue shared by the whole test session."""
+    return standard_catalog(seed=7, scale=0.12)
+
+
+@pytest.fixture(scope="session")
+def executor(catalog):
+    return Executor(catalog)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return PipelineConfig.fast(seed=11)
+
+
+@pytest.fixture()
+def engine(catalog, executor):
+    return TransformEngine(catalog, executor)
+
+
+@pytest.fixture()
+def section2_asts():
+    return parse_queries(SECTION2_QUERIES)
+
+
+@pytest.fixture()
+def explore_asts():
+    return parse_queries(EXPLORE_QUERIES)
+
+
+@pytest.fixture()
+def make_mapper(catalog, executor):
+    """Factory: an InterfaceMapper for a given query list."""
+
+    def factory(queries, **mapper_kwargs):
+        asts = parse_queries(list(queries))
+        cost_model = CostModel(asts)
+        return InterfaceMapper(
+            catalog, executor, cost_model, MapperConfig(**mapper_kwargs)
+        )
+
+    return factory

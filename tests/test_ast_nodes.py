@@ -1,0 +1,91 @@
+"""Unit tests for the generic AST node structure."""
+
+from repro.sqlparser import ast_nodes as A
+from repro.sqlparser.ast_nodes import L, Node
+from repro.sqlparser.parser import parse
+
+
+def test_equality_is_structural():
+    a = A.binop("=", A.column("a"), A.literal_num(1))
+    b = A.binop("=", A.column("a"), A.literal_num(1))
+    c = A.binop("=", A.column("a"), A.literal_num(2))
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_copy_is_deep():
+    original = parse("SELECT a FROM t WHERE a = 1")
+    clone = original.copy()
+    assert clone == original
+    clone.children[0].children[0].children[0].value = "zzz"
+    assert clone != original
+
+
+def test_signature_and_fingerprint():
+    a = A.binop(">", A.column("a"), A.literal_num(1))
+    assert a.signature() == (L.BINOP, ">")
+    assert "binop" in a.fingerprint()
+    assert a.fingerprint() == a.copy().fingerprint()
+
+
+def test_walk_is_preorder_and_complete():
+    ast = parse("SELECT a, b FROM t WHERE a = 1")
+    nodes = list(ast.walk())
+    assert nodes[0] is ast
+    assert len(nodes) == ast.size()
+
+
+def test_walk_with_parent_links():
+    ast = parse("SELECT a FROM t")
+    pairs = list(ast.walk_with_parent())
+    assert pairs[0] == (ast, None)
+    for node, parent in pairs[1:]:
+        assert node in parent.children
+
+
+def test_find_helpers():
+    ast = parse("SELECT a, b FROM t WHERE a = 1 AND b = 2")
+    columns = ast.find_label(L.COLUMN)
+    assert {c.value for c in columns} == {"a", "b"}
+    first_literal = ast.find_first(lambda n: n.label == L.LITERAL_NUM)
+    assert first_literal.value == 1
+
+
+def test_replace_child_by_identity():
+    parent = A.and_(A.literal_bool(True), A.literal_bool(False))
+    target = parent.children[1]
+    parent.replace_child(target, A.literal_bool(True))
+    assert parent.children[1].value is True
+
+
+def test_depth_and_size():
+    leaf = A.literal_num(1)
+    assert leaf.depth() == 1 and leaf.size() == 1
+    tree = A.and_(A.binop("=", A.column("a"), A.literal_num(1)))
+    assert tree.depth() == 3
+    assert tree.size() == 4
+
+
+def test_contains_choice_false_for_plain_ast():
+    ast = parse("SELECT a FROM t")
+    assert not ast.contains_choice()
+
+
+def test_constructor_helpers_build_expected_labels():
+    assert A.select_item(A.column("a"), "x").children[1].label == L.ALIAS
+    assert A.table_ref(A.table_name("t"), "s").children[1].value == "s"
+    assert A.in_list(A.column("a"), [A.literal_num(1)]).label == L.IN_LIST
+    assert A.is_null(A.column("a"), negated=True).value == "NOT"
+    assert A.func("SUM", [A.column("x")]).value == "sum"
+    assert A.empty().label == L.EMPTY
+
+
+def test_pretty_output_contains_labels():
+    ast = parse("SELECT a FROM t")
+    text = ast.pretty()
+    assert "select_stmt" in text and "column='a'" in text
+
+
+def test_node_repr_does_not_crash():
+    assert "Node(" in repr(Node(L.COLUMN, "a"))

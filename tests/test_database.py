@@ -1,0 +1,193 @@
+"""Unit tests for database types, tables, statistics, functions and catalog."""
+
+import pytest
+
+from repro.database import (
+    CATEGORICAL_CARDINALITY_THRESHOLD,
+    Catalog,
+    CatalogError,
+    Column,
+    DataType,
+    Table,
+    compute_column_statistics,
+    function_return_type,
+    infer_value_type,
+    is_aggregate,
+    looks_like_date,
+    unify_all,
+    unify_types,
+)
+from repro.database.functions import SCALAR_FUNCTIONS, TODAY, FunctionError
+from repro.database.table import ResultColumn, ResultTable
+
+
+# -- types -------------------------------------------------------------------
+
+
+def test_infer_value_type():
+    assert infer_value_type(1) is DataType.INT
+    assert infer_value_type(1.5) is DataType.FLOAT
+    assert infer_value_type(True) is DataType.BOOL
+    assert infer_value_type("abc") is DataType.STR
+    assert infer_value_type("2020-01-31") is DataType.DATE
+    assert infer_value_type(None) is DataType.NULL
+
+
+def test_looks_like_date_rejects_malformed():
+    assert looks_like_date("2020-01-31")
+    assert not looks_like_date("2020/01/31")
+    assert not looks_like_date("20200131")
+    assert not looks_like_date("2020-1-3")
+
+
+def test_unify_types_lattice():
+    assert unify_types(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+    assert unify_types(DataType.INT, DataType.INT) is DataType.INT
+    assert unify_types(DataType.STR, DataType.DATE) is DataType.STR
+    assert unify_types(DataType.INT, DataType.STR) is DataType.ANY
+    assert unify_types(DataType.NULL, DataType.INT) is DataType.INT
+    assert unify_all([DataType.INT, DataType.FLOAT, DataType.INT]) is DataType.FLOAT
+
+
+# -- tables -------------------------------------------------------------------
+
+
+def make_table():
+    t = Table("t", [Column("a", DataType.INT), Column("b", DataType.STR)])
+    t.insert_many([(1, "x"), (2, "y"), (2, "z")])
+    return t
+
+
+def test_table_insert_and_access():
+    t = make_table()
+    assert len(t) == 3
+    assert t.column_names() == ["a", "b"]
+    assert t.values("a") == [1, 2, 2]
+    assert t.column("b").dtype is DataType.STR
+
+
+def test_table_rejects_wrong_width():
+    t = make_table()
+    with pytest.raises(ValueError):
+        t.insert((1,))
+
+
+def test_table_rejects_duplicate_columns():
+    with pytest.raises(ValueError):
+        Table("bad", [Column("a", DataType.INT), Column("a", DataType.INT)])
+
+
+def test_table_from_dicts_infers_types():
+    t = Table.from_dicts("d", [{"a": 1, "b": "x"}, {"a": 2.5, "b": "y"}])
+    assert t.column("a").dtype is DataType.FLOAT
+    assert t.column("b").dtype is DataType.STR
+
+
+def test_result_table_helpers():
+    rt = ResultTable(
+        [ResultColumn("a", DataType.INT), ResultColumn("b", DataType.STR)],
+        [(1, "x"), (2, "x")],
+    )
+    assert rt.column_names() == ["a", "b"]
+    assert rt.values("b") == ["x", "x"]
+    assert rt.distinct_count("b") == 1
+    assert rt.to_dicts()[0] == {"a": 1, "b": "x"}
+    assert len(rt.head(1)) == 1
+    with pytest.raises(KeyError):
+        rt.column_index("missing")
+
+
+# -- statistics ------------------------------------------------------------------
+
+
+def test_column_statistics_basic():
+    t = make_table()
+    stats = compute_column_statistics(t, "a")
+    assert stats.row_count == 3
+    assert stats.distinct_count == 2
+    assert stats.domain() == (1, 2)
+    assert stats.is_categorical_candidate
+    assert not stats.is_unique
+
+
+def test_column_statistics_unique_detection():
+    t = Table("u", [Column("id", DataType.INT)])
+    t.insert_many([(i,) for i in range(10)])
+    stats = compute_column_statistics(t, "id")
+    assert stats.is_unique
+    assert stats.distinct_count == 10
+
+
+def test_categorical_threshold_matches_paper():
+    assert CATEGORICAL_CARDINALITY_THRESHOLD == 20
+
+
+# -- functions ------------------------------------------------------------------
+
+
+def test_scalar_date_arithmetic():
+    date = SCALAR_FUNCTIONS["date"]
+    assert date("2021-06-30", "-30 days") == "2021-05-31"
+    assert date("2021-06-30", "+1 month") == "2021-07-28"
+    assert date("2021-06-30", "-1 year") == "2020-06-28"
+
+
+def test_today_is_deterministic():
+    assert SCALAR_FUNCTIONS["today"]() == TODAY.isoformat()
+
+
+def test_invalid_date_modifier_raises():
+    with pytest.raises(FunctionError):
+        SCALAR_FUNCTIONS["date"]("2021-06-30", "-3 fortnights")
+
+
+def test_function_return_types():
+    assert function_return_type("count") is DataType.INT
+    assert function_return_type("avg") is DataType.FLOAT
+    assert function_return_type("date") is DataType.DATE
+    assert function_return_type("unknown_fn") is DataType.ANY
+
+
+def test_is_aggregate():
+    assert is_aggregate("sum") and is_aggregate("count distinct")
+    assert not is_aggregate("date")
+
+
+# -- catalog ---------------------------------------------------------------------
+
+
+def test_catalog_lookup_and_statistics(catalog):
+    assert catalog.has_table("Cars") and catalog.has_table("cars")
+    table = catalog.table("cars")
+    assert table.name == "Cars"
+    lo, hi = catalog.domain("Cars.hp")
+    assert lo < hi
+    assert catalog.cardinality("Cars.origin") == 3
+    assert catalog.is_unique("Cars.id")
+    assert not catalog.is_unique("Cars.origin")
+
+
+def test_catalog_attribute_resolution(catalog):
+    assert catalog.qualified_name("hp") == "Cars.hp"
+    assert catalog.qualified_name("Cars.hp") == "Cars.hp"
+    assert catalog.attribute_type("mpg") is DataType.FLOAT
+    assert catalog.qualified_name("nonexistent_column") is None
+    # alias qualifiers fall back to a bare search restricted to scope
+    assert catalog.qualified_name("s.ra", ["specObj"]) == "specObj.ra"
+
+
+def test_catalog_unknown_table_raises(catalog):
+    with pytest.raises(CatalogError):
+        catalog.table("not_a_table")
+
+
+def test_catalog_scoped_resolution(catalog):
+    # "z" exists in both galaxy and specObj; scope disambiguates deterministically
+    resolved = catalog.resolve_attribute("z", ["galaxy"])
+    assert resolved[0] == "galaxy"
+
+
+def test_empty_catalog():
+    cat = Catalog()
+    assert cat.table_names() == []
+    assert cat.qualified_name("x") is None

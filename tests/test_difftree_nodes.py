@@ -1,0 +1,244 @@
+"""Tests for choice nodes, resolution and binding derivation (matching)."""
+
+import pytest
+
+from repro.difftree import (
+    Difftree,
+    FlatBindingSource,
+    ResolutionError,
+    default_param,
+    expressible_asts,
+    match_query,
+    resolve,
+    resolve_with_derivation,
+)
+from repro.difftree.nodes import (
+    AnyNode,
+    ChoiceNode,
+    MultiNode,
+    OptNode,
+    SubsetNode,
+    ValNode,
+    choice_nodes,
+    dynamic_nodes,
+    make_choice,
+    make_opt,
+)
+from repro.difftree.resolve import Derivation, NodeBinding, QueueBindingSource
+from repro.difftree.types import PiType
+from repro.sqlparser import ast_nodes as A
+from repro.sqlparser import parse, to_sql
+from repro.sqlparser.ast_nodes import L, Node
+
+
+def predicate(attr, value):
+    return A.binop("=", A.column(attr), A.literal_num(value))
+
+
+# -- node structure -------------------------------------------------------------
+
+
+def test_choice_nodes_have_unique_ids():
+    a = AnyNode([A.literal_num(1)])
+    b = AnyNode([A.literal_num(1)])
+    assert a.node_id != b.node_id
+
+
+def test_copy_preserves_node_id_and_class():
+    val = ValNode([A.literal_num(1), A.literal_num(2)], pitype=PiType.num())
+    clone = val.copy()
+    assert isinstance(clone, ValNode)
+    assert clone.node_id == val.node_id
+    assert clone.pitype == val.pitype
+    assert clone == val
+
+
+def test_make_choice_and_make_opt():
+    any_node = make_choice(L.ANY, [A.literal_num(1), A.literal_num(2)])
+    assert isinstance(any_node, AnyNode)
+    opt = make_opt(predicate("a", 1))
+    assert isinstance(opt, AnyNode) and opt.is_opt
+    assert len(opt.non_empty_children()) == 1
+
+
+def test_multi_and_opt_arity_validation():
+    with pytest.raises(ValueError):
+        MultiNode([A.literal_num(1), A.literal_num(2)])
+    with pytest.raises(ValueError):
+        OptNode([A.literal_num(1), A.literal_num(2)])
+
+
+def test_choice_and_dynamic_node_discovery():
+    root = Node(
+        L.WHERE_CLAUSE, None, [Node(L.AND, None, [AnyNode([predicate("a", 1), predicate("b", 2)])])]
+    )
+    assert len(choice_nodes(root)) == 1
+    dyn = dynamic_nodes(root)
+    assert root in dyn and len(dyn) == 3  # where, and, ANY
+
+
+# -- resolution -----------------------------------------------------------------
+
+
+def test_any_resolution_by_index():
+    node = AnyNode([predicate("a", 1), predicate("b", 2)])
+    resolved = resolve(node, FlatBindingSource({node.node_id: 1}))
+    assert to_sql(resolved) == "b = 2"
+
+
+def test_val_resolution_to_bound_value():
+    val = ValNode([A.literal_num(1), A.literal_num(2)], pitype=PiType.num())
+    tree = A.binop("=", A.column("a"), val)
+    resolved = resolve(tree, FlatBindingSource({val.node_id: 7}))
+    assert to_sql(resolved) == "a = 7"
+
+
+def test_val_default_uses_first_observed_literal():
+    val = ValNode([A.literal_num(5), A.literal_num(9)])
+    assert default_param(val) == 5
+
+
+def test_opt_resolution_splices_out():
+    opt = make_opt(predicate("a", 1))
+    clause = Node(L.AND, None, [opt, predicate("b", 2)])
+    on = resolve(clause, FlatBindingSource({opt.node_id: 0}))
+    off_idx = next(i for i, c in enumerate(opt.children) if c.label == L.EMPTY)
+    off = resolve(clause, FlatBindingSource({opt.node_id: off_idx}))
+    assert to_sql(on) == "a = 1 AND b = 2"
+    assert to_sql(off) == "b = 2"
+
+
+def test_multi_resolution_repeats_template():
+    inner = AnyNode([A.column("a"), A.column("b")])
+    multi = MultiNode([inner], sep=", ")
+    clause = Node(L.GROUPBY_CLAUSE, None, [multi])
+    source = FlatBindingSource({multi.node_id: 2, inner.node_id: [0, 1]})
+    resolved = resolve(clause, source)
+    assert to_sql(resolved) == "GROUP BY a, b"
+
+
+def test_subset_resolution_selects_indices():
+    subset = SubsetNode([predicate("a", 1), predicate("b", 2), predicate("c", 3)])
+    clause = Node(L.AND, None, [subset])
+    resolved = resolve(clause, FlatBindingSource({subset.node_id: (0, 2)}))
+    assert to_sql(resolved) == "a = 1 AND c = 3"
+
+
+def test_out_of_range_bindings_raise():
+    node = AnyNode([predicate("a", 1)])
+    with pytest.raises(ResolutionError):
+        resolve(node, FlatBindingSource({node.node_id: 5}))
+    subset = SubsetNode([predicate("a", 1)])
+    wrapped = Node(L.AND, None, [subset])
+    with pytest.raises(ResolutionError):
+        resolve(wrapped, FlatBindingSource({subset.node_id: (4,)}))
+
+
+def test_queue_source_validates_order_and_exhaustion():
+    node = AnyNode([predicate("a", 1), predicate("b", 2)])
+    good = Derivation([NodeBinding(node.node_id, "any", 0)])
+    assert to_sql(resolve_with_derivation(node, good)) == "a = 1"
+    with pytest.raises(ResolutionError):
+        resolve_with_derivation(node, Derivation([]))
+    with pytest.raises(ResolutionError):
+        resolve_with_derivation(
+            node, Derivation([NodeBinding(node.node_id + 999, "any", 0)])
+        )
+    with pytest.raises(ResolutionError):
+        resolve_with_derivation(
+            node,
+            Derivation(
+                [NodeBinding(node.node_id, "any", 0), NodeBinding(node.node_id, "any", 1)]
+            ),
+        )
+    source = QueueBindingSource(good)
+    resolve(node, source)
+    assert source.fully_consumed
+
+
+def test_expressible_asts_enumeration():
+    node = AnyNode([predicate("a", 1), predicate("b", 2)])
+    asts = list(expressible_asts(node))
+    assert {to_sql(a) for a in asts} == {"a = 1", "b = 2"}
+
+
+# -- matching / query bindings -----------------------------------------------------
+
+
+def test_match_any_returns_child_index():
+    node = AnyNode([predicate("a", 1), predicate("b", 2)])
+    derivation = match_query(node, predicate("b", 2))
+    assert derivation is not None
+    assert derivation.bindings[0].param == 1
+    assert match_query(node, predicate("c", 3)) is None
+
+
+def test_match_val_checks_type_compatibility():
+    val = ValNode([A.literal_num(1)], pitype=PiType.num())
+    tree = A.binop("=", A.column("a"), val)
+    assert match_query(tree, predicate("a", 42)) is not None
+    string_query = A.binop("=", A.column("a"), A.literal_str("x"))
+    assert match_query(tree, string_query) is None
+
+
+def test_match_multi_counts_repetitions():
+    inner = AnyNode([A.column("a"), A.column("b")])
+    multi = MultiNode([inner])
+    clause = Node(L.GROUPBY_CLAUSE, None, [multi])
+    target = Node(L.GROUPBY_CLAUSE, None, [A.column("a"), A.column("a"), A.column("b")])
+    derivation = match_query(clause, target)
+    assert derivation is not None
+    assert derivation.params_for(multi.node_id) == [3]
+    assert derivation.params_for(inner.node_id) == [0, 0, 1]
+
+
+def test_match_subset_finds_ordered_subset():
+    subset = SubsetNode([predicate("a", 1), predicate("b", 2), predicate("c", 3)])
+    clause = Node(L.AND, None, [subset])
+    target = Node(L.AND, None, [predicate("a", 1), predicate("c", 3)])
+    derivation = match_query(clause, target)
+    assert derivation is not None
+    assert derivation.bindings[0].param == (0, 2)
+    reordered = Node(L.AND, None, [predicate("c", 3), predicate("a", 1)])
+    assert match_query(clause, reordered) is None
+
+
+def test_match_opt_in_sequence():
+    opt = make_opt(predicate("a", 1))
+    clause = Node(L.AND, None, [opt, predicate("b", 2)])
+    with_a = Node(L.AND, None, [predicate("a", 1), predicate("b", 2)])
+    without_a = Node(L.AND, None, [predicate("b", 2)])
+    assert match_query(clause, with_a) is not None
+    assert match_query(clause, without_a) is not None
+    assert match_query(clause, Node(L.AND, None, [predicate("x", 9)])) is None
+
+
+def test_match_resolve_roundtrip_on_real_queries():
+    queries = [
+        "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
+    ]
+    from repro.difftree import initial_difftrees, merge_difftrees
+
+    merged = merge_difftrees(initial_difftrees(queries))
+    for i, q in enumerate(queries):
+        resolved = merged.resolve_query(i)
+        assert to_sql(resolved) == to_sql(parse(q))
+
+
+def test_difftree_query_bindings_union(section2_asts):
+    from repro.difftree import initial_difftrees, merge_difftrees
+
+    merged = merge_difftrees(initial_difftrees(section2_asts))
+    bindings = merged.query_bindings()
+    root = merged.root
+    assert isinstance(root, ChoiceNode)
+    assert bindings[root.node_id] == [0, 1, 2]
+
+
+def test_difftree_is_static_and_copy(section2_asts):
+    tree = Difftree(section2_asts[0].copy(), [section2_asts[0]])
+    assert tree.is_static()
+    assert tree.expresses_all()
+    clone = tree.copy()
+    assert clone.fingerprint() == tree.fingerprint()

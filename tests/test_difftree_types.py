@@ -1,0 +1,64 @@
+"""Tests for the PI2 type hierarchy (AST → str → num plus attribute types)."""
+
+from repro.database.types import DataType
+from repro.difftree.types import PiType, union_types
+
+
+def test_primitive_hierarchy_compatibility():
+    num, str_, ast = PiType.num(), PiType.str_(), PiType.ast()
+    assert num.compatible_with(str_)
+    assert num.compatible_with(ast)
+    assert str_.compatible_with(ast)
+    assert not str_.compatible_with(num)
+    assert not ast.compatible_with(num)
+    assert num.compatible_with(num)
+
+
+def test_attribute_type_specialises_primitive():
+    hp = PiType.attr("Cars.hp", DataType.INT)
+    assert hp.is_attribute and hp.is_numeric
+    assert hp.compatible_with(PiType.num())
+    assert hp.compatible_with(PiType.str_())
+    assert not PiType.num().compatible_with(hp)
+
+
+def test_distinct_attribute_types_incompatible():
+    hp = PiType.attr("Cars.hp", DataType.INT)
+    mpg = PiType.attr("Cars.mpg", DataType.FLOAT)
+    assert not hp.compatible_with(mpg)
+    assert hp.compatible_with(hp)
+
+
+def test_union_is_least_common_ancestor():
+    num, str_ = PiType.num(), PiType.str_()
+    assert num.union(num) == num
+    assert num.union(str_) == str_
+    assert str_.union(num) == str_
+    assert num.union(PiType.ast()) == PiType.ast()
+
+
+def test_union_of_attributes():
+    a = PiType.attr("T.a", DataType.INT)
+    b = PiType.attr("T.b", DataType.INT)
+    assert a.union(a) == a
+    assert a.union(b) == PiType.num()
+    assert a.union(PiType.num()) == PiType.num()
+    s = PiType.attr("Cars.origin", DataType.STR)
+    assert a.union(s) == PiType.str_()
+
+
+def test_union_types_helper():
+    assert union_types([]) == PiType.ast()
+    assert union_types([PiType.num(), PiType.num()]) == PiType.num()
+    assert union_types([PiType.num(), PiType.str_(), PiType.num()]) == PiType.str_()
+
+
+def test_from_data_type():
+    assert PiType.from_data_type(DataType.INT) == PiType.num()
+    assert PiType.from_data_type(DataType.DATE) == PiType.str_()
+    assert PiType.from_data_type(DataType.ANY) == PiType.ast()
+
+
+def test_str_rendering():
+    assert str(PiType.num()) == "num"
+    assert str(PiType.attr("T.a", DataType.INT)) == "T.a"

@@ -1,0 +1,233 @@
+"""Unit and integration tests for the relational query executor."""
+
+import pytest
+
+from repro.database import DataType, ExecutionError, Executor, standard_catalog
+from repro.database.functions import TODAY
+from repro.sqlparser import parse
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return Executor(standard_catalog(seed=3, scale=0.12))
+
+
+def test_simple_projection(ex):
+    result = ex.execute_sql("SELECT hp, mpg FROM Cars")
+    assert result.column_names() == ["hp", "mpg"]
+    assert len(result) == len(ex.catalog.table("Cars"))
+
+
+def test_star_expansion(ex):
+    result = ex.execute_sql("SELECT * FROM T")
+    assert result.column_names() == ["p", "a", "b"]
+
+
+def test_where_filter_and_between(ex):
+    result = ex.execute_sql("SELECT hp FROM Cars WHERE hp BETWEEN 100 AND 150")
+    assert all(100 <= row[0] <= 150 for row in result.rows)
+
+
+def test_comparison_and_boolean_logic(ex):
+    result = ex.execute_sql(
+        "SELECT p, a FROM T WHERE a = 1 OR (a = 2 AND p > 3)"
+    )
+    for p, a in result.rows:
+        assert a == 1 or (a == 2 and p > 3)
+
+
+def test_in_list_predicate(ex):
+    result = ex.execute_sql("SELECT origin FROM Cars WHERE origin IN ('USA', 'Japan')")
+    assert set(result.values("origin")) <= {"USA", "Japan"}
+
+
+def test_projection_of_boolean_expression(ex):
+    result = ex.execute_sql("SELECT mpg, id in (1, 2) as color FROM Cars")
+    assert result.columns[1].name == "color"
+    assert set(result.values("color")) <= {True, False}
+    assert sum(1 for v in result.values("color") if v) == 2
+
+
+def test_group_by_count(ex):
+    result = ex.execute_sql("SELECT origin, count(*) FROM Cars GROUP BY origin")
+    assert result.column_names() == ["origin", "count"]
+    assert len(result) == 3
+    total = sum(row[1] for row in result.rows)
+    assert total == len(ex.catalog.table("Cars"))
+
+
+def test_aggregates_sum_avg_min_max(ex):
+    result = ex.execute_sql(
+        "SELECT sum(total), avg(total), min(total), max(total) FROM sales"
+    )
+    s, a, lo, hi = result.rows[0]
+    assert lo <= a <= hi
+    assert s == pytest.approx(a * len(ex.catalog.table("sales")))
+
+
+def test_count_distinct(ex):
+    result = ex.execute_sql("SELECT count(DISTINCT origin) FROM Cars")
+    assert result.rows[0][0] == 3
+
+
+def test_aggregate_without_group_by_returns_one_row(ex):
+    result = ex.execute_sql("SELECT count(*) FROM flights WHERE delay > 1000000")
+    assert result.rows == [(0,)]
+
+
+def test_having_filters_groups(ex):
+    result = ex.execute_sql(
+        "SELECT origin, count(*) FROM Cars GROUP BY origin HAVING count(*) > 0"
+    )
+    assert len(result) == 3
+    result = ex.execute_sql(
+        "SELECT origin, count(*) FROM Cars GROUP BY origin HAVING count(*) > 100000"
+    )
+    assert len(result) == 0
+
+
+def test_distinct_rows(ex):
+    result = ex.execute_sql("SELECT DISTINCT origin FROM Cars")
+    assert len(result) == 3
+
+
+def test_order_by_and_limit(ex):
+    result = ex.execute_sql("SELECT hp FROM Cars ORDER BY hp DESC LIMIT 5")
+    values = [row[0] for row in result.rows]
+    assert values == sorted(values, reverse=True)
+    assert len(values) == 5
+
+
+def test_order_by_alias(ex):
+    result = ex.execute_sql(
+        "SELECT origin, count(*) as n FROM Cars GROUP BY origin ORDER BY n"
+    )
+    counts = [row[1] for row in result.rows]
+    assert counts == sorted(counts)
+
+
+def test_comma_join_with_predicate(ex):
+    result = ex.execute_sql(
+        "SELECT gal.objID, s.ra FROM galaxy as gal, specObj as s "
+        "WHERE s.bestObjID = gal.objID"
+    )
+    assert len(result) == len(ex.catalog.table("galaxy"))
+    assert result.columns[0].source == "galaxy.objID"
+
+
+def test_explicit_inner_join(ex):
+    result = ex.execute_sql(
+        "SELECT gal.u, s.z FROM galaxy as gal JOIN specObj as s "
+        "ON s.bestObjID = gal.objID"
+    )
+    assert len(result) == len(ex.catalog.table("galaxy"))
+
+
+def test_left_outer_join_pads_nulls(ex):
+    result = ex.execute_sql(
+        "SELECT t.p, s.ra FROM T as t LEFT JOIN specObj as s ON t.p = s.specObjID"
+    )
+    # no specObj id is a small integer, so every row is padded with NULL
+    assert len(result) == len(ex.catalog.table("T"))
+    assert all(row[1] is None for row in result.rows)
+
+
+def test_subquery_in_from(ex):
+    result = ex.execute_sql(
+        "SELECT t FROM (SELECT sum(total) as t FROM sales GROUP BY city) sub"
+    )
+    assert result.column_names() == ["t"]
+    assert len(result) == 3
+
+
+def test_scalar_subquery_in_where(ex):
+    result = ex.execute_sql(
+        "SELECT total FROM sales WHERE total >= (SELECT max(total) FROM sales)"
+    )
+    assert len(result) >= 1
+    top = ex.execute_sql("SELECT max(total) FROM sales").rows[0][0]
+    assert all(row[0] == top for row in result.rows)
+
+
+def test_correlated_having_subquery(ex):
+    """The sales-dashboard query: top product per city via correlated HAVING."""
+    result = ex.execute_sql(
+        "SELECT city, product, sum(total) FROM sales as ss "
+        "GROUP BY city, product "
+        "HAVING sum(total) >= (SELECT max(t) FROM "
+        "(SELECT sum(total) as t FROM sales as s WHERE s.city = ss.city "
+        "GROUP BY s.city, s.product))"
+    )
+    cities = [row[0] for row in result.rows]
+    assert len(set(cities)) == len(cities) == 3
+    # cross-check each winner directly
+    for city, product, total in result.rows:
+        per_product = ex.execute_sql(
+            f"SELECT product, sum(total) FROM sales WHERE city = '{city}' "
+            "GROUP BY product"
+        )
+        best = max(row[1] for row in per_product.rows)
+        assert total == pytest.approx(best)
+
+
+def test_date_function_filter(ex):
+    result = ex.execute_sql(
+        "SELECT date, cases FROM covid WHERE state = 'CA' "
+        "AND date > date(today(), '-7 days')"
+    )
+    assert 1 <= len(result) <= 7
+    assert all(row[0] > (TODAY.isoformat()[:8] + "00") for row in result.rows)
+
+
+def test_in_subquery(ex):
+    result = ex.execute_sql(
+        "SELECT hour FROM flights WHERE hour IN (SELECT hour FROM flights WHERE hour < 3)"
+    )
+    assert set(result.values("hour")) <= {0, 1, 2}
+
+
+def test_like_operator(ex):
+    result = ex.execute_sql("SELECT product FROM sales WHERE product LIKE '%beauty%'")
+    assert set(result.values("product")) == {"Health and beauty"}
+
+
+def test_case_expression(ex):
+    result = ex.execute_sql(
+        "SELECT CASE WHEN hp > 150 THEN 'fast' ELSE 'slow' END as speed FROM Cars"
+    )
+    assert set(result.values("speed")) <= {"fast", "slow"}
+
+
+def test_output_types_and_sources(ex):
+    result = ex.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
+    assert result.columns[0].source == "flights.hour"
+    assert result.columns[0].dtype is DataType.INT
+    assert result.columns[1].is_aggregate
+
+
+def test_duplicate_output_names_are_disambiguated(ex):
+    result = ex.execute_sql("SELECT sum(total), sum(invoice) FROM sales")
+    assert result.column_names() == ["sum", "sum_1"]
+
+
+def test_unknown_column_raises(ex):
+    with pytest.raises(ExecutionError):
+        ex.execute_sql("SELECT nonexistent FROM Cars WHERE nonexistent = 1")
+
+
+def test_unknown_node_raises(ex):
+    with pytest.raises(ExecutionError):
+        ex.execute(parse("SELECT a FROM T").children[0])
+
+
+def test_result_cache_hits(ex):
+    ex.clear_cache()
+    first = ex.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
+    second = ex.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
+    assert first is second  # same cached object
+    ex.clear_cache()
+
+
+def test_division_by_zero_yields_null(ex):
+    result = ex.execute_sql("SELECT 1 / 0 FROM T LIMIT 1")
+    assert result.rows[0][0] is None

@@ -1,0 +1,113 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sqlparser.errors import LexError
+from repro.sqlparser.lexer import Lexer, normalise_sql, tokenize
+from repro.sqlparser.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def test_simple_select_tokens():
+    tokens = tokenize("SELECT a FROM t")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "a", "FROM", "t"]
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_numbers_integer_and_float():
+    assert values("1 2.5 0.1362 10e3") == ["1", "2.5", "0.1362", "10e3"]
+    assert all(k is TokenType.NUMBER for k in kinds("1 2.5 0.1362"))
+
+
+def test_negative_exponent_number():
+    assert values("1.5e-3") == ["1.5e-3"]
+
+
+def test_string_literal_quotes_stripped():
+    tokens = tokenize("'2019-01-25'")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "2019-01-25"
+
+
+def test_string_literal_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("SELECT 'oops")
+
+
+def test_typographic_quotes_normalised():
+    tokens = tokenize("WHERE state= ’CA’")
+    assert any(t.type is TokenType.STRING and t.value == "CA" for t in tokens)
+
+
+def test_operators_multi_char_first():
+    assert values("a >= 1 AND b <> 2 AND c != 3") == [
+        "a", ">=", "1", "AND", "b", "<>", "2", "AND", "c", "!=", "3",
+    ]
+
+
+def test_punctuation_tokens():
+    assert kinds("(a, b.*);") == [
+        TokenType.LPAREN,
+        TokenType.IDENT,
+        TokenType.COMMA,
+        TokenType.IDENT,
+        TokenType.DOT,
+        TokenType.STAR,
+        TokenType.RPAREN,
+        TokenType.SEMICOLON,
+    ]
+
+
+def test_line_comment_skipped():
+    assert values("SELECT a -- comment here\nFROM t") == ["SELECT", "a", "FROM", "t"]
+
+
+def test_block_comment_skipped():
+    assert values("SELECT /* hi */ a") == ["SELECT", "a"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("SELECT /* oops")
+
+
+def test_ampersand_is_an_operator():
+    # the paper's BTWN lo & hi shorthand relies on '&' lexing as an operator
+    assert values("BTWN 50 & 60") == ["BTWN", "50", "&", "60"]
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as err:
+        tokenize("SELECT a ~ b")
+    assert err.value.pos > 0
+    assert "~" in str(err.value)
+
+
+def test_normalise_sql_replaces_dashes():
+    assert normalise_sql("a – b — c") == "a - b - c"
+
+
+def test_keyword_check_is_case_insensitive():
+    token = tokenize("select")[0]
+    assert token.is_keyword("SELECT")
+    assert token.is_keyword("Select", "FROM")
+    assert not token.is_keyword("FROM")
+
+
+def test_lexer_positions_point_into_source():
+    sql = "SELECT abc FROM t"
+    for token in Lexer(sql).tokenize():
+        if token.type is TokenType.IDENT:
+            assert sql[token.pos : token.pos + len(token.value)] == token.value

@@ -1,0 +1,205 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlparser import L, ParseError, parse, parse_many, to_sql
+from repro.workloads import WORKLOADS
+
+
+def clause_labels(ast):
+    return [c.label for c in ast.children]
+
+
+def test_basic_select_structure():
+    ast = parse("SELECT a, b FROM t")
+    assert ast.label == L.SELECT_STMT
+    assert clause_labels(ast) == [L.SELECT_CLAUSE, L.FROM_CLAUSE]
+    assert len(ast.children[0].children) == 2
+
+
+def test_select_distinct_flag():
+    ast = parse("SELECT DISTINCT a FROM t")
+    assert ast.children[0].value == "DISTINCT"
+
+
+def test_select_star():
+    ast = parse("SELECT * FROM t")
+    item = ast.children[0].children[0]
+    assert item.children[0].label == L.STAR
+
+
+def test_aliases_with_and_without_as():
+    ast = parse("SELECT a AS x, b y FROM t")
+    items = ast.children[0].children
+    assert items[0].children[1].value == "x"
+    assert items[1].children[1].value == "y"
+
+
+def test_where_is_wrapped_in_conjunction():
+    ast = parse("SELECT a FROM t WHERE a = 1")
+    where = ast.children[2]
+    assert where.label == L.WHERE_CLAUSE
+    assert where.children[0].label == L.AND
+    assert len(where.children[0].children) == 1
+
+
+def test_multi_predicate_where_stays_flat():
+    ast = parse("SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3")
+    conj = ast.children[2].children[0]
+    assert conj.label == L.AND
+    assert len(conj.children) == 3
+
+
+def test_btwn_shorthand_equals_between():
+    a = parse("SELECT a FROM t WHERE a BTWN 1 & 5")
+    b = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+    assert a == b
+
+
+def test_between_structure():
+    ast = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+    predicate = ast.children[2].children[0].children[0]
+    assert predicate.label == L.BETWEEN
+    assert [c.label for c in predicate.children] == [
+        L.COLUMN,
+        L.LITERAL_NUM,
+        L.LITERAL_NUM,
+    ]
+
+
+def test_in_list_and_in_subquery():
+    ast = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+    pred = ast.children[2].children[0].children[0]
+    assert pred.label == L.IN_LIST
+    assert len(pred.children) == 4
+
+    ast = parse("SELECT a FROM t WHERE a IN (SELECT a FROM s)")
+    pred = ast.children[2].children[0].children[0]
+    assert pred.label == L.IN_QUERY
+    assert pred.children[1].label == L.SUBQUERY
+
+
+def test_not_in_wraps_not():
+    ast = parse("SELECT a FROM t WHERE a NOT IN (1, 2)")
+    pred = ast.children[2].children[0].children[0]
+    assert pred.label == L.NOT
+    assert pred.children[0].label == L.IN_LIST
+
+
+def test_boolean_select_item_with_alias():
+    ast = parse("SELECT id in (1, 2) as color FROM Cars")
+    item = ast.children[0].children[0]
+    assert item.children[0].label == L.IN_LIST
+    assert item.children[1].value == "color"
+
+
+def test_comma_join_and_aliases():
+    ast = parse("SELECT a FROM galaxy as gal, specObj as s")
+    from_clause = ast.children[1]
+    assert len(from_clause.children) == 2
+    assert from_clause.children[0].children[1].value == "gal"
+
+
+def test_explicit_join_on():
+    ast = parse("SELECT a FROM t JOIN s ON t.id = s.id")
+    join = ast.children[1].children[0]
+    assert join.label == L.JOIN
+    assert join.children[2].label == L.JOIN_ON
+
+
+def test_subquery_in_from():
+    ast = parse("SELECT t FROM (SELECT sum(total) as t FROM sales) sub")
+    ref = ast.children[1].children[0]
+    assert ref.children[0].label == L.SUBQUERY
+    assert ref.children[1].value == "sub"
+
+
+def test_group_by_having_with_scalar_subquery():
+    ast = parse(
+        "SELECT city, sum(total) FROM sales GROUP BY city "
+        "HAVING sum(total) >= (SELECT max(t) FROM s)"
+    )
+    labels = clause_labels(ast)
+    assert L.GROUPBY_CLAUSE in labels and L.HAVING_CLAUSE in labels
+    having = ast.children[labels.index(L.HAVING_CLAUSE)]
+    comparison = having.children[0].children[0]
+    assert comparison.label == L.BINOP
+    assert comparison.children[1].label == L.SUBQUERY
+
+
+def test_order_by_and_limit_offset():
+    ast = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+    labels = clause_labels(ast)
+    orderby = ast.children[labels.index(L.ORDERBY_CLAUSE)]
+    assert orderby.children[0].value == "DESC"
+    assert orderby.children[1].value == "ASC"
+    limit = ast.children[labels.index(L.LIMIT_CLAUSE)]
+    assert len(limit.children) == 2
+
+
+def test_function_calls_nested():
+    ast = parse("SELECT a FROM t WHERE date > date(today(), '-30 days')")
+    pred = ast.children[2].children[0].children[0]
+    func = pred.children[1]
+    assert func.label == L.FUNC and func.value == "date"
+    assert func.children[0].label == L.FUNC and func.children[0].value == "today"
+
+
+def test_count_star_and_count_distinct():
+    ast = parse("SELECT count(*), count(DISTINCT a) FROM t")
+    items = ast.children[0].children
+    assert items[0].children[0].value == "count"
+    assert items[0].children[0].children[0].label == L.STAR
+    assert items[1].children[0].value == "count distinct"
+
+
+def test_arithmetic_precedence():
+    ast = parse("SELECT a + b * 2 FROM t")
+    expr = ast.children[0].children[0].children[0]
+    assert expr.value == "+"
+    assert expr.children[1].value == "*"
+
+
+def test_unary_minus_folds_into_literal():
+    ast = parse("SELECT a FROM t WHERE dec BETWEEN -0.9 AND -0.2")
+    pred = ast.children[2].children[0].children[0]
+    assert pred.children[1].value == pytest.approx(-0.9)
+
+
+def test_case_expression():
+    ast = parse("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+    case = ast.children[0].children[0].children[0]
+    assert case.label == L.CASE
+    assert case.children[0].label == L.WHEN
+
+
+def test_is_null_and_is_not_null():
+    ast = parse("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+    conj = ast.children[2].children[0]
+    assert conj.children[0].label == L.IS_NULL
+    assert conj.children[1].value == "NOT"
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse("SELECT FROM WHERE")
+
+
+def test_parse_error_on_trailing_tokens():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t extra_tokens here ,")
+
+
+def test_parse_many_preserves_order():
+    asts = parse_many(["SELECT a FROM t", "SELECT b FROM t"])
+    assert len(asts) == 2
+    assert asts[0].children[0].children[0].children[0].value == "a"
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_all_workload_queries_parse_and_roundtrip(workload):
+    """Every paper query parses, renders to SQL, and re-parses to the same AST."""
+    for sql in WORKLOADS[workload].queries:
+        ast = parse(sql)
+        rendered = to_sql(ast)
+        assert parse(rendered) == ast

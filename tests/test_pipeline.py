@@ -1,0 +1,115 @@
+"""End-to-end integration tests of the PI2 pipeline."""
+
+import pytest
+
+from repro import (
+    PipelineConfig,
+    best_static_interface,
+    generate_for_workload,
+    generate_interface,
+)
+from repro.interface import InterfaceRuntime
+from repro.taxonomy import classify_interface
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def pipeline_catalog():
+    from repro.database import standard_catalog
+
+    return standard_catalog(seed=11, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def explore_result(pipeline_catalog):
+    return generate_for_workload(
+        WORKLOADS["explore"], catalog=pipeline_catalog, config=PipelineConfig.fast()
+    )
+
+
+def test_pipeline_returns_complete_interface(explore_result):
+    interface = explore_result.interface
+    assert interface.is_complete()
+    assert interface.cost is not None and interface.cost.total >= 0
+    assert explore_result.total_seconds >= 0
+    assert explore_result.candidates
+
+
+def test_explore_reproduces_figure_14a(explore_result):
+    """Listing 1 → scatterplot with pan/zoom controlling the range predicates."""
+    interface = explore_result.interface
+    assert interface.num_views() == 1
+    assert interface.views[0].vis.vis_type.name == "point"
+    assert interface.interaction_kinds() & {"pan", "zoom", "brush-xy"}
+    report = classify_interface(interface)
+    assert report.covers("select", "explore")
+
+
+def test_generated_interface_expresses_all_queries(explore_result, pipeline_catalog):
+    from repro.database import Executor
+
+    runtime = InterfaceRuntime(explore_result.interface, Executor(pipeline_catalog))
+    for i in range(len(WORKLOADS["explore"].queries)):
+        assert runtime.replay_query(i)
+
+
+def test_pipeline_beats_static_baseline(pipeline_catalog, explore_result):
+    static = best_static_interface(
+        list(WORKLOADS["explore"].queries),
+        catalog=pipeline_catalog,
+        config=PipelineConfig.fast(),
+    )
+    assert explore_result.interface.cost.total <= static.cost.total
+
+
+def test_pipeline_is_deterministic(pipeline_catalog):
+    config = PipelineConfig.fast(seed=5)
+    a = generate_interface(
+        list(WORKLOADS["explore"].queries), catalog=pipeline_catalog, config=config
+    )
+    b = generate_interface(
+        list(WORKLOADS["explore"].queries), catalog=pipeline_catalog, config=config
+    )
+    assert a.interface.cost.total == pytest.approx(b.interface.cost.total)
+    assert a.interface.interaction_kinds() == b.interface.interaction_kinds()
+
+
+def test_sdss_case_study_has_table_and_chart(pipeline_catalog):
+    result = generate_for_workload(
+        WORKLOADS["sdss"], catalog=pipeline_catalog, config=PipelineConfig.fast()
+    )
+    interface = result.interface
+    assert interface.num_views() >= 2
+    vis_names = {v.vis.vis_type.name for v in interface.views}
+    assert "table" in vis_names
+    assert interface.is_complete()
+
+
+def test_single_query_yields_static_chart(pipeline_catalog):
+    result = generate_interface(
+        ["SELECT hp, mpg FROM Cars"],
+        catalog=pipeline_catalog,
+        config=PipelineConfig.fast(),
+    )
+    interface = result.interface
+    assert interface.num_views() == 1
+    assert not interface.widgets and not interface.interactions
+
+
+def test_pipeline_without_initial_refactor_still_completes(pipeline_catalog):
+    config = PipelineConfig.fast()
+    config = config.replace(initial_refactor=False)
+    config.search.max_iterations = 12
+    result = generate_interface(
+        list(WORKLOADS["explore"].queries), catalog=pipeline_catalog, config=config
+    )
+    assert result.interface.is_complete()
+
+
+def test_paper_defaults_config_values():
+    config = PipelineConfig.paper_defaults()
+    assert config.search.early_stop == 30
+    assert config.search.workers == 3
+    assert config.search.sync_interval == 10
+    assert config.search.reward_mappings == 5
+    assert config.mapper.top_k == 10

@@ -1,0 +1,95 @@
+"""Unit tests for AST → SQL rendering."""
+
+import pytest
+
+from repro.sqlparser import RenderError, parse, to_pseudo_sql, to_sql
+from repro.sqlparser import ast_nodes as A
+from repro.difftree.nodes import AnyNode, ValNode
+
+
+def roundtrip(sql):
+    return to_sql(parse(sql))
+
+
+def test_simple_select_roundtrip():
+    assert roundtrip("SELECT a, b FROM t") == "SELECT a, b FROM t"
+
+
+def test_distinct_rendered():
+    assert roundtrip("SELECT DISTINCT a FROM t") == "SELECT DISTINCT a FROM t"
+
+
+def test_between_rendered_canonically():
+    assert (
+        roundtrip("SELECT a FROM t WHERE a BTWN 1 & 5")
+        == "SELECT a FROM t WHERE a BETWEEN 1 AND 5"
+    )
+
+
+def test_string_literal_escaped():
+    assert roundtrip("SELECT a FROM t WHERE b = 'it''s'").endswith("b = 'it''s'")
+
+
+def test_float_literals_keep_value():
+    sql = roundtrip("SELECT a FROM t WHERE z BETWEEN 0.1362 AND 0.141")
+    assert "0.1362" in sql and "0.141" in sql
+
+
+def test_integer_valued_float_rendered_as_int():
+    assert to_sql(A.literal_num(5.0)) == "5"
+
+
+def test_or_parenthesised():
+    sql = roundtrip("SELECT a FROM t WHERE a = 1 OR b = 2")
+    assert "(" in sql and "OR" in sql
+    assert parse(sql) == parse("SELECT a FROM t WHERE a = 1 OR b = 2")
+
+
+def test_aggregate_and_alias():
+    assert (
+        roundtrip("SELECT sum(total) as t FROM sales")
+        == "SELECT sum(total) AS t FROM sales"
+    )
+
+
+def test_count_distinct_rendered():
+    assert "count(DISTINCT a)" in roundtrip("SELECT count(DISTINCT a) FROM t")
+
+
+def test_join_rendered():
+    sql = roundtrip("SELECT a FROM t INNER JOIN s ON t.id = s.id")
+    assert "INNER JOIN" in sql and "ON t.id = s.id" in sql
+
+
+def test_order_limit_offset_rendered():
+    sql = roundtrip("SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1")
+    assert sql.endswith("ORDER BY a DESC LIMIT 3 OFFSET 1")
+
+
+def test_case_rendered():
+    sql = roundtrip("SELECT CASE WHEN a > 1 THEN 2 ELSE 3 END FROM t")
+    assert "CASE WHEN" in sql and "ELSE 3 END" in sql
+
+
+def test_unresolved_choice_node_rejected_by_strict_renderer():
+    tree = AnyNode([A.literal_num(1), A.literal_num(2)])
+    with pytest.raises(RenderError):
+        to_sql(tree)
+
+
+def test_pseudo_sql_renders_choice_nodes():
+    tree = AnyNode([A.literal_num(1), A.literal_num(2)])
+    text = to_pseudo_sql(tree)
+    assert "ANY" in text and "1" in text and "2" in text
+
+
+def test_pseudo_sql_renders_val_and_empty():
+    val = ValNode([A.literal_num(1), A.literal_num(100)])
+    wrapped = AnyNode([val, A.empty()])
+    text = to_pseudo_sql(wrapped)
+    assert "VAL" in text and "∅" in text
+
+
+def test_unknown_label_raises():
+    with pytest.raises(RenderError):
+        to_sql(A.Node("no_such_label", None, []))

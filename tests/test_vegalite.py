@@ -1,0 +1,112 @@
+"""Tests for the Vega-Lite exporter."""
+
+import json
+
+import pytest
+
+from repro.difftree import initial_difftrees, merge_difftrees
+from repro.interface import InterfaceRuntime
+from repro.interface.vegalite import (
+    VEGA_LITE_SCHEMA,
+    export_vegalite,
+    interface_to_vegalite,
+    view_to_vegalite,
+)
+from repro.transform import TransformEngine
+
+EXPLORE = [
+    "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60 "
+    "AND mpg BETWEEN 27 AND 38",
+    "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90 "
+    "AND mpg BETWEEN 16 AND 30",
+]
+
+TWO_VIEWS = [
+    "SELECT hour, count(*) FROM flights GROUP BY hour",
+    "SELECT delay, count(*) FROM flights GROUP BY delay",
+]
+
+
+@pytest.fixture()
+def explore_interface(catalog, executor, make_mapper):
+    engine = TransformEngine(catalog, executor)
+    trees = engine.refactor_to_fixpoint(
+        [merge_difftrees(initial_difftrees(EXPLORE))]
+    )
+    mapper = make_mapper(EXPLORE)
+    interface = mapper.best_interface(trees)
+    return interface, InterfaceRuntime(interface, executor)
+
+
+@pytest.fixture()
+def two_view_interface(catalog, executor, make_mapper):
+    trees = initial_difftrees(TWO_VIEWS)
+    mapper = make_mapper(TWO_VIEWS)
+    interface = mapper.best_interface(trees)
+    return interface, InterfaceRuntime(interface, executor)
+
+
+def test_view_spec_has_mark_data_and_encoding(explore_interface):
+    interface, runtime = explore_interface
+    spec = view_to_vegalite(interface.views[0], runtime.view_states[0].result)
+    assert spec["$schema"] == VEGA_LITE_SCHEMA
+    assert spec["mark"] == "point"
+    assert {"x", "y"} <= set(spec["encoding"])
+    assert spec["encoding"]["x"]["field"] == "hp"
+    assert spec["encoding"]["y"]["type"] == "quantitative"
+    assert isinstance(spec["data"]["values"], list)
+
+
+def test_single_view_interface_spec_includes_interaction_params(explore_interface):
+    interface, runtime = explore_interface
+    spec = interface_to_vegalite(interface, runtime)
+    assert spec["title"]
+    if interface.interactions:
+        assert "params" in spec
+        names = {p["name"] for p in spec["params"]}
+        assert names  # pan / zoom exported as scale-bound intervals
+
+
+def test_multi_view_interface_uses_vconcat(two_view_interface):
+    interface, runtime = two_view_interface
+    spec = interface_to_vegalite(interface, runtime)
+    assert "vconcat" in spec
+    assert len(spec["vconcat"]) == 2
+    for unit in spec["vconcat"]:
+        assert "mark" in unit and "encoding" in unit
+
+
+def test_bar_chart_encoding_types(two_view_interface):
+    interface, runtime = two_view_interface
+    bar_views = [
+        (i, v) for i, v in enumerate(interface.views) if v.vis.vis_type.name == "bar"
+    ]
+    if not bar_views:
+        pytest.skip("no bar chart chosen for the grouped queries")
+    idx, view = bar_views[0]
+    spec = view_to_vegalite(view, runtime.view_states[idx].result)
+    assert spec["mark"] == "bar"
+    assert spec["encoding"]["y"]["type"] == "quantitative"
+
+
+def test_export_vegalite_writes_valid_json(tmp_path, explore_interface):
+    interface, runtime = explore_interface
+    path = export_vegalite(interface, str(tmp_path / "spec.json"), runtime)
+    payload = json.loads((tmp_path / "spec.json").read_text())
+    assert payload["$schema"] == VEGA_LITE_SCHEMA or "vconcat" in payload
+    assert path.endswith("spec.json")
+
+
+def test_spec_without_runtime_has_empty_data(explore_interface):
+    interface, _ = explore_interface
+    spec = interface_to_vegalite(interface, runtime=None)
+    data = spec.get("data") or spec["vconcat"][0]["data"]
+    assert data["values"] == []
+
+
+def test_widget_summary_in_description(two_view_interface):
+    interface, runtime = two_view_interface
+    spec = interface_to_vegalite(interface, runtime)
+    units = spec["vconcat"] if "vconcat" in spec else [spec]
+    if interface.widgets:
+        assert any("widgets:" in u.get("description", "") for u in units)

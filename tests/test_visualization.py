@@ -1,0 +1,137 @@
+"""Tests for the visualization model and visualization mapping (Table 1, §4.1)."""
+
+from repro.difftree import initial_difftrees
+from repro.mapping import (
+    BAR_VIS,
+    LINE_VIS,
+    POINT_VIS,
+    TABLE_VIS,
+    VIS_TYPES,
+    VisualizationType,
+    VisualVariable,
+    attribute_kinds,
+    candidate_visualizations,
+    register_visualization,
+)
+from repro.mapping.visualization import CATEGORICAL, QUANTITATIVE
+
+
+def schema_for(executor, sql):
+    tree = initial_difftrees([sql])[0]
+    return tree.result_schema(executor)
+
+
+def test_table1_visualization_schemas():
+    """The library reproduces the schemas / FDs / interactions of Table 1."""
+    assert TABLE_VIS.accepts_any_schema
+    assert TABLE_VIS.interactions == ("click",)
+
+    point_vars = {v.name: v for v in POINT_VIS.variables}
+    assert set(point_vars) == {"x", "y", "shape", "size", "color"}
+    assert point_vars["x"].kinds == (QUANTITATIVE, CATEGORICAL)
+    assert point_vars["y"].kinds == (QUANTITATIVE,)
+    assert {"pan", "zoom", "brush-x", "brush-y", "brush-xy", "click", "multi-click"} <= set(
+        POINT_VIS.interactions
+    )
+
+    bar_vars = {v.name: v for v in BAR_VIS.variables}
+    assert bar_vars["x"].kinds == (CATEGORICAL,)
+    assert BAR_VIS.fds == ((("x", "color"), "y"),)
+    assert set(BAR_VIS.interactions) == {"click", "multi-click", "brush-x"}
+
+    assert LINE_VIS.fds[0][1] == "y"
+    assert set(LINE_VIS.interactions) == {"click", "pan", "zoom"}
+
+
+def test_attribute_kinds_cardinality_rule(executor):
+    schema = schema_for(executor, "SELECT origin, hp FROM Cars")
+    origin, hp = schema.attributes
+    assert attribute_kinds(origin) == {CATEGORICAL}
+    assert QUANTITATIVE in attribute_kinds(hp)
+
+
+def test_group_by_query_maps_to_bar_chart(executor, catalog):
+    schema = schema_for(executor, "SELECT origin, count(*) FROM Cars GROUP BY origin")
+    candidates = candidate_visualizations(schema, catalog)
+    names = [c.vis_type.name for c in candidates]
+    assert "bar" in names
+    bar = next(c for c in candidates if c.vis_type.name == "bar")
+    assert bar.variable_for(0) == "x" and bar.variable_for(1) == "y"
+    # a chart is preferred over the table for a 2-column result
+    assert candidates[0].vis_type.name != "table"
+
+
+def test_fd_constraint_rejects_bar_on_ungrouped_data(executor, catalog):
+    schema = schema_for(executor, "SELECT origin, hp FROM Cars")
+    candidates = candidate_visualizations(schema, catalog)
+    assert all(c.vis_type.name != "bar" for c in candidates)
+
+
+def test_scatterplot_for_two_numeric_columns(executor, catalog):
+    schema = schema_for(executor, "SELECT hp, mpg FROM Cars")
+    candidates = candidate_visualizations(schema, catalog)
+    assert any(c.vis_type.name == "point" for c in candidates)
+
+
+def test_line_chart_preferred_for_date_series(executor, catalog):
+    schema = schema_for(executor, "SELECT date, price FROM sp500")
+    candidates = candidate_visualizations(schema, catalog)
+    assert candidates[0].vis_type.name == "line"
+    assert candidates[0].variable_for(0) == "x"
+
+
+def test_wide_result_prefers_table(executor, catalog):
+    schema = schema_for(
+        executor,
+        "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, s.z, s.ra, s.dec "
+        "FROM galaxy as gal, specObj as s WHERE s.bestObjID = gal.objID",
+    )
+    candidates = candidate_visualizations(schema, catalog)
+    assert candidates[0].vis_type.name == "table"
+
+
+def test_table_is_always_a_candidate(executor, catalog):
+    assert candidate_visualizations(None, catalog)[0].vis_type.name == "table"
+    schema = schema_for(executor, "SELECT hp FROM Cars")
+    names = [c.vis_type.name for c in candidate_visualizations(schema, catalog)]
+    assert "table" in names
+
+
+def test_each_visual_variable_used_at_most_once(executor, catalog):
+    schema = schema_for(executor, "SELECT hp, mpg, origin FROM Cars")
+    for mapping in candidate_visualizations(schema, catalog):
+        if mapping.vis_type.accepts_any_schema:
+            continue
+        variables = list(mapping.assignment.values())
+        assert len(variables) == len(set(variables))
+        # every non-optional variable is mapped
+        required = {v.name for v in mapping.vis_type.required_variables()}
+        assert required <= set(variables)
+
+
+def test_primary_key_column_not_rendered(executor, catalog):
+    schema = schema_for(executor, "SELECT hp, disp, id FROM Cars")
+    candidates = candidate_visualizations(schema, catalog)
+    point = next(c for c in candidates if c.vis_type.name == "point")
+    id_index = 2
+    assert point.variable_for(id_index) is None
+
+
+def test_describe_and_registration(executor, catalog):
+    schema = schema_for(executor, "SELECT hp, mpg FROM Cars")
+    mapping = candidate_visualizations(schema, catalog)[0]
+    assert "→" in mapping.describe() or mapping.vis_type.name == "table"
+
+    custom = VisualizationType(
+        name="heatmap",
+        variables=(
+            VisualVariable("x", (CATEGORICAL,)),
+            VisualVariable("y", (CATEGORICAL,)),
+        ),
+        interactions=("click",),
+    )
+    register_visualization(custom)
+    try:
+        assert custom in VIS_TYPES
+    finally:
+        VIS_TYPES.remove(custom)

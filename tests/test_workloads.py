@@ -1,0 +1,87 @@
+"""Tests for the paper workload definitions and workload generators."""
+
+import pytest
+
+from repro.sqlparser import parse
+from repro.workloads import (
+    WORKLOADS,
+    get_workload,
+    random_range_queries,
+    scale_workload,
+    workload_names,
+)
+
+
+def test_seven_paper_workloads_present():
+    assert set(workload_names()) == {
+        "explore",
+        "abstract",
+        "connect",
+        "filter",
+        "sdss",
+        "covid",
+        "sales",
+    }
+
+
+def test_workload_sizes_match_paper_listings():
+    assert len(WORKLOADS["explore"].queries) == 2
+    assert len(WORKLOADS["abstract"].queries) == 3
+    assert len(WORKLOADS["connect"].queries) == 3
+    assert len(WORKLOADS["filter"].queries) == 9
+    assert len(WORKLOADS["covid"].queries) == 8
+    assert len(WORKLOADS["sales"].queries) == 6
+    assert len(WORKLOADS["sdss"].queries) == 5
+
+
+def test_get_workload_errors_on_unknown_name():
+    assert get_workload("filter").name == "filter"
+    with pytest.raises(KeyError):
+        get_workload("nope")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_workload_query_parses_and_executes(name, executor):
+    for sql in WORKLOADS[name].queries:
+        ast = parse(sql)
+        result = executor.execute(ast)
+        assert result.columns, f"{name}: query produced no columns"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_queries_return_rows(name, executor):
+    """Non-empty results are needed for the interaction safety check.
+
+    The shared test catalogue is heavily down-scaled, so highly selective
+    queries (narrow SDSS sky regions) may legitimately select nothing; we only
+    require that at least half of each log returns data.
+    """
+    non_empty = 0
+    for sql in WORKLOADS[name].queries:
+        if len(executor.execute(parse(sql))) > 0:
+            non_empty += 1
+    assert non_empty >= max(1, len(WORKLOADS[name].queries) // 2)
+
+
+def test_scale_workload_duplicates_and_perturbs():
+    scaled = scale_workload(WORKLOADS["filter"], 45, seed=3)
+    assert len(scaled.queries) == 45
+    assert scaled.queries[:9] == WORKLOADS["filter"].queries
+    # queries with literals get perturbed after the first repetition
+    # (query index 10 repeats the original index-1 query, which has literals)
+    assert scaled.queries[10] != WORKLOADS["filter"].queries[1]
+    for sql in scaled.queries:
+        parse(sql)
+
+
+def test_scale_workload_without_perturbation():
+    scaled = scale_workload(WORKLOADS["explore"], 6, perturb=False)
+    assert scaled.queries == WORKLOADS["explore"].queries * 3
+
+
+def test_random_range_queries_are_well_formed(executor):
+    queries = random_range_queries("Cars", "hp", 5, 50, 200, seed=1)
+    assert len(queries) == 5
+    for sql in queries:
+        result = executor.execute(parse(sql))
+        assert result.column_names() == ["hp"]
