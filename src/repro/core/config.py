@@ -85,6 +85,9 @@ class PipelineResult:
     mapper_stats: object
     best_reward: float
     candidates: list = field(default_factory=list)
+    #: query-plan / executor counters (:class:`repro.database.planner.PlanStats`)
+    #: for the run — hash joins vs fallbacks, pushdowns, cache hit rates
+    executor_stats: object = None
 
     @property
     def cost(self) -> Optional[float]:

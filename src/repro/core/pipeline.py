@@ -38,6 +38,24 @@ from .config import PipelineConfig, PipelineResult
 QueryLike = Union[str, Node]
 
 
+class PipelineError(RuntimeError):
+    """Raised when the pipeline cannot produce any candidate interface."""
+
+
+def best_interface_cost(interfaces: Sequence) -> float:
+    """The minimum total cost over candidate interfaces.
+
+    Candidates whose cost could not be computed carry ``cost is None``; when
+    *every* candidate is costless this returns ``+inf`` (worst possible cost)
+    rather than raising ``ValueError`` on an empty ``min()`` — the reward
+    closure in :func:`generate_interface` then maps that to a ``-inf`` reward.
+    """
+    costs = [i.cost.total for i in interfaces if i.cost is not None]
+    if not costs:
+        return float("inf")
+    return min(costs)
+
+
 def generate_interface(
     queries: Sequence[QueryLike],
     catalog: Optional[Catalog] = None,
@@ -86,7 +104,10 @@ def generate_interface(
         )
         if not interfaces:
             return float("-inf")
-        best = min(i.cost.total for i in interfaces if i.cost is not None)
+        best = best_interface_cost(interfaces)
+        if best == float("inf"):
+            # every candidate came back costless: worst possible reward
+            return float("-inf")
         return -best
 
     search_start = time.perf_counter()
@@ -97,6 +118,12 @@ def generate_interface(
     mapping_start = time.perf_counter()
     candidates = mapper.generate(result.best_state.trees)
     mapping_seconds = time.perf_counter() - mapping_start
+    if not candidates:
+        raise PipelineError(
+            "interface mapping produced no candidates for the best search "
+            f"state ({len(result.best_state.trees)} tree(s)); the state may "
+            "contain queries whose results violate every chart's constraints"
+        )
     interface = candidates[0]
 
     return PipelineResult(
@@ -109,6 +136,7 @@ def generate_interface(
         mapper_stats=mapper.stats,
         best_reward=result.best_reward,
         candidates=candidates,
+        executor_stats=executor.stats,
     )
 
 

@@ -19,12 +19,14 @@ from .datasets import (
 )
 from .executor import ExecutionError, Executor
 from .functions import TODAY, function_return_type, is_aggregate
+from .planner import Plan, Planner, PlanningError, PlanStats
 from .statistics import (
     CATEGORICAL_CARDINALITY_THRESHOLD,
     ColumnStatistics,
     compute_column_statistics,
+    estimate_equi_join_rows,
 )
-from .table import Column, ResultColumn, ResultTable, Table
+from .table import Column, RelColumn, Relation, ResultColumn, ResultTable, Table
 from .types import DataType, infer_value_type, looks_like_date, unify_all, unify_types
 
 __all__ = [
@@ -36,11 +38,18 @@ __all__ = [
     "DataType",
     "ExecutionError",
     "Executor",
+    "Plan",
+    "PlanStats",
+    "Planner",
+    "PlanningError",
+    "RelColumn",
+    "Relation",
     "ResultColumn",
     "ResultTable",
     "TODAY",
     "Table",
     "compute_column_statistics",
+    "estimate_equi_join_rows",
     "function_return_type",
     "infer_value_type",
     "is_aggregate",

@@ -1,28 +1,42 @@
-"""A small relational query executor over the in-memory catalogue.
+"""A planned relational query executor over the in-memory catalogue.
 
-The executor interprets the generic AST produced by :mod:`repro.sqlparser`
-directly (there is no separate logical plan — the workloads PI2 targets are
-small, and interface generation needs correctness and schema information, not
-raw throughput).  It supports everything the paper's workloads require:
+Execution is split into two layers.  :mod:`repro.database.planner` compiles
+each SELECT AST into a small logical plan — scan → filter → join → group →
+project → order → limit — and this module runs those plans.  The plan layer
+exists because interface generation's MCTS reward loop executes thousands of
+small queries per run: hash equi-joins replace the interpreter's
+cross-product + filter (O(|L|+|R|) instead of O(|L|·|R|)), single-table WHERE
+conjuncts are pushed below joins onto base-table scans, and scans materialise
+only the columns a statement references.  Compiled plans are cached by AST
+fingerprint, so correlated subqueries re-executed per outer row plan once.
+
+The original AST interpreter is retained behind ``use_planner=False`` and
+serves as the equivalence oracle: planned execution must produce identical
+``ResultTable``s (columns, types, sources, and row order) for every supported
+query.  Supported SQL surface (unchanged from the interpreter):
 
 * projections with expressions, aliases, ``DISTINCT``, ``*``
-* comma joins, explicit ``JOIN ... ON``, subqueries in ``FROM``
+* comma joins, explicit ``JOIN ... ON`` (inner / left / right), subqueries
+  in ``FROM``
 * ``WHERE`` / ``HAVING`` with boolean logic, comparisons, ``BETWEEN``,
   ``IN`` (value lists and subqueries), ``IS NULL``, ``LIKE``
 * grouping and the aggregates ``count/sum/avg/min/max`` (with ``DISTINCT``)
-* scalar subqueries, including correlated subqueries (used by the sales
-  dashboard workload's ``HAVING`` clause)
+* scalar subqueries, including correlated subqueries
 * ``ORDER BY`` and ``LIMIT``/``OFFSET``
 
 Results are returned as :class:`repro.database.table.ResultTable`, whose
 columns carry inferred types and, when possible, the fully qualified source
-attribute — which is what the Difftree schema layer consumes.
+attribute — which is what the Difftree schema layer consumes.  Cached results
+are returned as defensive copies (fresh columns / rows containers, shared row
+tuples) and the result cache is LRU-bounded, so callers can mutate what they
+receive without poisoning later cache hits and the cache cannot grow without
+limit under heavy traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import Optional
 
 from ..sqlparser import L, Node, parse, to_sql
 from .catalog import Catalog, CatalogError
@@ -31,52 +45,25 @@ from .functions import (
     SCALAR_FUNCTIONS,
     is_aggregate,
 )
-from .table import ResultColumn, ResultTable, Table
+from .planner import (
+    CrossJoinOp,
+    FilterOp,
+    HashJoinOp,
+    NestedLoopJoinOp,
+    Plan,
+    Planner,
+    PlanOp,
+    PlanStats,
+    ScanOp,
+    SubqueryScanOp,
+    contains_aggregate,
+)
+from .table import RelColumn, Relation, ResultColumn, ResultTable, Table
 from .types import DataType, infer_value_type, unify_all
 
 
 class ExecutionError(Exception):
     """Raised when a query cannot be executed against the catalogue."""
-
-
-# ---------------------------------------------------------------------------
-# intermediate relation representation
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class RelColumn:
-    """A column of an intermediate relation produced by the FROM clause."""
-
-    name: str                      # bare column name
-    qualifier: Optional[str]       # table alias or table name
-    dtype: DataType
-    source: Optional[str] = None   # fully qualified base attribute
-    is_aggregate: bool = False
-
-    @property
-    def qualified(self) -> Optional[str]:
-        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
-
-
-@dataclass
-class Relation:
-    """An intermediate relation: typed columns plus rows of tuples."""
-
-    columns: list[RelColumn] = field(default_factory=list)
-    rows: list[tuple] = field(default_factory=list)
-
-    def find(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
-        """Index of the column matching ``name`` (and ``qualifier`` if given)."""
-        for i, col in enumerate(self.columns):
-            if col.name != name:
-                continue
-            if qualifier is None or (
-                col.qualifier is not None
-                and col.qualifier.lower() == qualifier.lower()
-            ):
-                return i
-        return None
 
 
 class Environment:
@@ -116,12 +103,33 @@ class Environment:
 
 
 class Executor:
-    """Executes parsed SQL ASTs against a :class:`Catalog`."""
+    """Executes parsed SQL ASTs against a :class:`Catalog`.
 
-    def __init__(self, catalog: Catalog, enable_cache: bool = True) -> None:
+    Args:
+        catalog: the catalogue to execute against.
+        enable_cache: cache results by AST fingerprint (top-level queries
+            only; correlated executions are never cached).
+        use_planner: run compiled plans (the default).  ``False`` falls back
+            to direct AST interpretation — kept as the equivalence oracle for
+            tests and as the baseline for the join benchmarks.
+        cache_size: LRU bound on the result cache (and the plan cache).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        enable_cache: bool = True,
+        use_planner: bool = True,
+        cache_size: int = 1024,
+    ) -> None:
         self.catalog = catalog
         self.enable_cache = enable_cache
-        self._cache: dict[str, ResultTable] = {}
+        self.use_planner = use_planner
+        self.cache_size = max(1, cache_size)
+        self._cache: "OrderedDict[str, ResultTable]" = OrderedDict()
+        self.stats = PlanStats()
+        self.planner = Planner(catalog, self.stats)
+        self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
 
     # -- public API --------------------------------------------------------
 
@@ -139,20 +147,193 @@ class Executor:
         cache_key = None
         if self.enable_cache and env is None:
             cache_key = node.fingerprint()
-            if cache_key in self._cache:
-                return self._cache[cache_key]
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.stats.result_cache_hits += 1
+                return cached.copy()
+            self.stats.result_cache_misses += 1
 
         result = self._execute_select(node, env)
         if cache_key is not None:
             self._cache[cache_key] = result
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            # hand out a copy so caller mutations cannot poison the cache
+            return result.copy()
         return result
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._plan_cache.clear()
+
+    def explain_sql(self, sql: str) -> str:
+        """The compiled plan of a SQL string, rendered for inspection."""
+        node = parse(sql)
+        if node.label == L.SUBQUERY:
+            node = node.children[0]
+        return self._plan_for(node).explain()
 
     # -- select pipeline ------------------------------------------------------
 
     def _execute_select(self, stmt: Node, env: Optional[Environment]) -> ResultTable:
+        if not self.use_planner:
+            return self._execute_select_interpreted(stmt, env)
+        plan = self._plan_for(stmt)
+
+        relation = self._exec_source(plan.source, env)
+        if plan.residual_where is not None:
+            relation = self._filter(relation, plan.residual_where, env)
+
+        if plan.groupby is not None or plan.has_aggregates:
+            result = self._execute_grouped(
+                relation, plan.select, plan.groupby, plan.having, env
+            )
+        else:
+            result = self._project(relation, plan.select, env)
+
+        if plan.distinct:
+            result = self._distinct(result)
+        if plan.orderby is not None:
+            result = self._order(result, plan.orderby, env)
+        if plan.limit is not None:
+            result = self._limit(result, plan.limit, env)
+        return result
+
+    def _plan_for(self, stmt: Node) -> Plan:
+        key = stmt.fingerprint()
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.stats.plan_cache_hits += 1
+            return plan
+        plan = self.planner.plan(stmt)
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > self.cache_size:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    # -- plan execution -------------------------------------------------------
+
+    def _exec_source(
+        self, source: Optional[PlanOp], env: Optional[Environment]
+    ) -> Relation:
+        if source is None:
+            # SELECT without FROM: a single empty row so expressions evaluate once
+            return Relation(columns=[], rows=[tuple()])
+        return self._exec_op(source, env)
+
+    def _exec_op(self, op: PlanOp, env: Optional[Environment]) -> Relation:
+        if isinstance(op, ScanOp):
+            table = self.catalog.table(op.table)
+            if op.column_indices is None:
+                rows = list(table.rows)
+            else:
+                idx = op.column_indices
+                rows = [tuple(row[i] for i in idx) for row in table.rows]
+            relation = Relation(columns=list(op.schema), rows=rows)
+            for pred in op.predicates:
+                relation = self._filter(relation, pred, env)
+            return relation
+
+        if isinstance(op, SubqueryScanOp):
+            sub_result = self.execute(op.stmt, env)
+            columns = [
+                RelColumn(
+                    name=c.name,
+                    qualifier=op.alias,
+                    dtype=c.dtype,
+                    source=c.source,
+                    is_aggregate=c.is_aggregate,
+                )
+                for c in sub_result.columns
+            ]
+            return Relation(columns=columns, rows=list(sub_result.rows))
+
+        if isinstance(op, FilterOp):
+            relation = self._exec_op(op.child, env)
+            for pred in op.predicates:
+                relation = self._filter(relation, pred, env)
+            return relation
+
+        if isinstance(op, HashJoinOp):
+            return self._exec_hash_join(op, env)
+
+        if isinstance(op, NestedLoopJoinOp):
+            self.stats.nested_loop_joins_executed += 1
+            left = self._exec_op(op.left, env)
+            right = self._exec_op(op.right, env)
+            combined = self._cross_join(left, right)
+            filtered = (
+                self._filter(combined, op.condition, env)
+                if op.condition is not None
+                else combined
+            )
+            if op.join_type == "LEFT":
+                return self._pad_outer(left, right, combined, filtered, left_side=True)
+            if op.join_type == "RIGHT":
+                return self._pad_outer(left, right, combined, filtered, left_side=False)
+            return filtered
+
+        if isinstance(op, CrossJoinOp):
+            self.stats.cross_joins_executed += 1
+            return self._cross_join(
+                self._exec_op(op.left, env), self._exec_op(op.right, env)
+            )
+
+        raise ExecutionError(f"unknown plan operator {op!r}")
+
+    def _exec_hash_join(self, op: HashJoinOp, env: Optional[Environment]) -> Relation:
+        """Build on the right input, probe from the left.
+
+        Probing left rows in order and emitting right matches in right-row
+        order reproduces the interpreter's cross-join + filter row order
+        exactly, so LIMIT-without-ORDER-BY queries stay deterministic.  Rows
+        with a NULL or NaN key component never match: ``=`` returns false for
+        NULL operands and ``nan == nan`` is false, whereas a dict lookup would
+        match a NaN key through Python's identity shortcut.
+        """
+        self.stats.hash_joins_executed += 1
+        left = self._exec_op(op.left, env)
+        right = self._exec_op(op.right, env)
+        lk, rk = op.left_key_idx, op.right_key_idx
+
+        buckets: dict[tuple, list[tuple]] = {}
+        for rrow in right.rows:
+            key = tuple(rrow[i] for i in rk)
+            if any(v is None or v != v for v in key):
+                continue
+            buckets.setdefault(key, []).append(rrow)
+
+        rows: list[tuple] = []
+        empty: list[tuple] = []
+        for lrow in left.rows:
+            key = tuple(lrow[i] for i in lk)
+            if any(v is None or v != v for v in key):
+                continue
+            for rrow in buckets.get(key, empty):
+                rows.append(lrow + rrow)
+
+        matched = Relation(columns=left.columns + right.columns, rows=rows)
+        if op.residual is not None:
+            matched = self._filter(matched, op.residual, env)
+        if op.join_type == "LEFT":
+            return self._pad_outer(left, right, matched, matched, left_side=True)
+        if op.join_type == "RIGHT":
+            return self._pad_outer(left, right, matched, matched, left_side=False)
+        return matched
+
+    # -- FROM interpretation (the pre-plan oracle path) -------------------------
+
+    def _execute_select_interpreted(
+        self, stmt: Node, env: Optional[Environment]
+    ) -> ResultTable:
+        """Interpret the AST clause by clause (no planning).
+
+        This is the original executor strategy — every join is a cross
+        product followed by a filter.  It is kept as the equivalence oracle
+        for the plan layer and as the baseline of the join benchmarks.
+        """
         clauses = {child.label: child for child in stmt.children}
         select = clauses.get(L.SELECT_CLAUSE)
         if select is None:
@@ -185,8 +366,6 @@ class Executor:
             result = self._limit(result, limit, env)
 
         return result
-
-    # -- FROM -------------------------------------------------------------------
 
     def _eval_from(
         self, from_clause: Optional[Node], env: Optional[Environment]
@@ -546,12 +725,7 @@ class Executor:
     # -- expression evaluation ----------------------------------------------------------
 
     def _contains_aggregate(self, node: Node) -> bool:
-        if node.label == L.SUBQUERY:
-            # aggregates inside subqueries belong to the subquery
-            return False
-        if node.label == L.FUNC and is_aggregate(str(node.value)):
-            return True
-        return any(self._contains_aggregate(c) for c in node.children)
+        return contains_aggregate(node)
 
     def _eval_expr(
         self,

@@ -81,6 +81,25 @@ def compute_column_statistics(
     )
 
 
+def estimate_equi_join_rows(
+    left_rows: int,
+    right_rows: int,
+    left_distinct: Optional[int] = None,
+    right_distinct: Optional[int] = None,
+) -> float:
+    """Textbook equi-join cardinality estimate ``|L|·|R| / max(V(L,a), V(R,b))``.
+
+    Used by the query planner to annotate hash-join nodes with an estimated
+    output cardinality (surfaced by ``Plan.explain`` and the pipeline's
+    executor diagnostics).  Falls back to the cross-product size when neither
+    side's key cardinality is known.
+    """
+    denom = max(left_distinct or 0, right_distinct or 0)
+    if denom <= 0:
+        return float(left_rows * right_rows)
+    return left_rows * right_rows / denom
+
+
 def _sort_key(value: object):
     """Sort key that keeps heterogeneous columns (e.g. int/float mixes) stable."""
     if isinstance(value, bool):

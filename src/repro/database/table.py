@@ -95,6 +95,45 @@ class Table:
 
 
 @dataclass
+class RelColumn:
+    """A column of an intermediate relation produced by a FROM clause.
+
+    Shared by the planner (which builds relation schemas at plan time) and
+    the executor (which materialises relations at run time).
+    """
+
+    name: str                      # bare column name
+    qualifier: Optional[str]       # table alias or table name
+    dtype: DataType
+    source: Optional[str] = None   # fully qualified base attribute
+    is_aggregate: bool = False
+
+    @property
+    def qualified(self) -> Optional[str]:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass
+class Relation:
+    """An intermediate relation: typed columns plus rows of tuples."""
+
+    columns: list[RelColumn] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+
+    def find(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
+        """Index of the column matching ``name`` (and ``qualifier`` if given)."""
+        for i, col in enumerate(self.columns):
+            if col.name != name:
+                continue
+            if qualifier is None or (
+                col.qualifier is not None
+                and col.qualifier.lower() == qualifier.lower()
+            ):
+                return i
+        return None
+
+
+@dataclass
 class ResultColumn:
     """A column of a query result.
 
@@ -147,6 +186,19 @@ class ResultTable:
 
     def head(self, n: int = 5) -> "ResultTable":
         return ResultTable(self.columns, self.rows[:n])
+
+    def copy(self) -> "ResultTable":
+        """A defensive shallow copy: fresh column objects and rows list.
+
+        Row tuples are shared (they are immutable); the columns and rows
+        containers are new so a caller mutating the copy cannot poison a
+        cached original.
+        """
+        columns = [
+            ResultColumn(c.name, c.dtype, c.source, c.is_aggregate)
+            for c in self.columns
+        ]
+        return ResultTable(columns, list(self.rows))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultTable({self.column_names()}, {len(self.rows)} rows)"

@@ -100,6 +100,10 @@ class MCTSWorker:
         self.root = MCTSNode(initial)
         self.stats = SearchStats()
         self._reward_cache: dict[str, float] = {}
+        # running min/max over finite cached rewards, maintained by _evaluate
+        # so _select does not rescan the whole cache every iteration
+        self._reward_lo: Optional[float] = None
+        self._reward_hi: Optional[float] = None
         self.iterations_since_improvement = 0
         self.best_state = initial
         self.best_reward = self._evaluate(initial)
@@ -154,14 +158,17 @@ class MCTSWorker:
         return node
 
     def _reward_bounds(self) -> tuple[float, float]:
-        """The worst / best rewards observed so far (for UCT normalisation)."""
-        rewards = [r for r in self._reward_cache.values() if r != float("-inf")]
-        if not rewards:
+        """The worst / best rewards observed so far (for UCT normalisation).
+
+        O(1): the bounds are maintained incrementally by :meth:`_evaluate`
+        instead of rebuilding a list over the entire reward cache on every
+        selection step (which made each iteration O(states evaluated)).
+        """
+        if self._reward_lo is None or self._reward_hi is None:
             return (0.0, 1.0)
-        lo, hi = min(rewards), max(rewards)
-        if lo == hi:
-            return (lo, lo + 1.0)
-        return (lo, hi)
+        if self._reward_lo == self._reward_hi:
+            return (self._reward_lo, self._reward_lo + 1.0)
+        return (self._reward_lo, self._reward_hi)
 
     def _expand(self, node: MCTSNode) -> MCTSNode:
         if node.is_terminal():
@@ -236,8 +243,14 @@ class MCTSWorker:
     def _evaluate(self, state: SearchState) -> float:
         key = state.fingerprint()
         if key not in self._reward_cache:
-            self._reward_cache[key] = self.reward_fn(state)
+            reward = self.reward_fn(state)
+            self._reward_cache[key] = reward
             self.stats.states_evaluated += 1
+            if reward != float("-inf"):
+                if self._reward_lo is None or reward < self._reward_lo:
+                    self._reward_lo = reward
+                if self._reward_hi is None or reward > self._reward_hi:
+                    self._reward_hi = reward
         return self._reward_cache[key]
 
     def _track_best(self, state: SearchState, reward: float) -> None:

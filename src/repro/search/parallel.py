@@ -71,12 +71,18 @@ class ParallelCoordinator:
         config = self.config
         start = time.perf_counter()
         total_iterations = 0
-        rounds = max(1, config.max_iterations // max(1, config.sync_interval))
+        # honour the iteration budget exactly: full sync rounds plus a final
+        # partial round for the `max_iterations % sync_interval` remainder
+        sync = max(1, config.sync_interval)
+        full_rounds, remainder = divmod(max(0, config.max_iterations), sync)
+        round_sizes = [sync] * full_rounds
+        if remainder:
+            round_sizes.append(remainder)
 
-        for _ in range(rounds):
-            # each worker runs `sync_interval` iterations of its own search
+        for round_size in round_sizes:
+            # each worker runs `round_size` iterations of its own search
             for worker in self.workers:
-                for _ in range(config.sync_interval):
+                for _ in range(round_size):
                     worker.run_iteration()
                     total_iterations += 1
 

@@ -222,10 +222,43 @@ def test_unknown_node_raises(ex):
 
 def test_result_cache_hits(ex):
     ex.clear_cache()
+    hits_before = ex.stats.result_cache_hits
     first = ex.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
     second = ex.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
-    assert first is second  # same cached object
+    # cache hits hand out defensive copies, never the cached object itself
+    assert first is not second
+    assert first.rows == second.rows
+    assert first.column_names() == second.column_names()
+    assert ex.stats.result_cache_hits == hits_before + 1
     ex.clear_cache()
+
+
+def test_result_cache_is_mutation_safe(ex):
+    """A caller mutating a returned ResultTable must not poison the cache."""
+    ex.clear_cache()
+    first = ex.execute_sql("SELECT hour FROM flights LIMIT 3")
+    clean_rows = list(first.rows)
+    first.rows.append(("poison",))
+    first.columns[0].name = "poisoned"
+    again = ex.execute_sql("SELECT hour FROM flights LIMIT 3")
+    assert again.rows == clean_rows
+    assert again.column_names() == ["hour"]
+    ex.clear_cache()
+
+
+def test_result_cache_is_lru_bounded():
+    from repro.database import standard_catalog
+
+    ex = Executor(standard_catalog(seed=3, scale=0.12), cache_size=3)
+    for limit in range(1, 6):
+        ex.execute_sql(f"SELECT hp FROM Cars LIMIT {limit}")
+    assert len(ex._cache) == 3
+    # the oldest entries were evicted, the newest retained
+    misses = ex.stats.result_cache_misses
+    ex.execute_sql("SELECT hp FROM Cars LIMIT 5")
+    assert ex.stats.result_cache_misses == misses  # hit: still cached
+    ex.execute_sql("SELECT hp FROM Cars LIMIT 1")
+    assert ex.stats.result_cache_misses == misses + 1  # evicted earlier
 
 
 def test_division_by_zero_yields_null(ex):

@@ -113,3 +113,48 @@ def test_paper_defaults_config_values():
     assert config.search.sync_interval == 10
     assert config.search.reward_mappings == 5
     assert config.mapper.top_k == 10
+
+
+# -- regression tests: reward / candidate guards and plan diagnostics ---------
+
+
+def test_best_interface_cost_with_costless_candidates():
+    """All-candidates-costless must yield +inf (reward -inf), not ValueError."""
+    from repro.core.pipeline import best_interface_cost
+
+    class Stub:
+        def __init__(self, cost):
+            self.cost = cost
+
+    class Cost:
+        def __init__(self, total):
+            self.total = total
+
+    assert best_interface_cost([Stub(None), Stub(None)]) == float("inf")
+    assert best_interface_cost([Stub(None), Stub(Cost(3.5))]) == 3.5
+    assert best_interface_cost([]) == float("inf")
+
+
+def test_pipeline_raises_clear_error_without_candidates(
+    pipeline_catalog, monkeypatch
+):
+    from repro.core.pipeline import PipelineError
+    from repro.mapping.mapper import InterfaceMapper
+
+    monkeypatch.setattr(InterfaceMapper, "generate", lambda self, trees: [])
+    with pytest.raises(PipelineError, match="no candidates"):
+        generate_for_workload(
+            WORKLOADS["explore"],
+            catalog=pipeline_catalog,
+            config=PipelineConfig.fast(),
+        )
+
+
+def test_pipeline_reports_executor_plan_stats(explore_result):
+    stats = explore_result.executor_stats
+    assert stats is not None
+    assert stats.plans_compiled > 0
+    # the reward loop re-runs the same queries: plan + result caches must hit
+    assert stats.plan_cache_hits + stats.result_cache_hits > 0
+    as_dict = stats.as_dict()
+    assert "hash_joins_planned" in as_dict

@@ -171,3 +171,77 @@ def test_weighted_rollout_choice_prefers_refactoring(catalog, executor):
         chosen = worker._weighted_choice(apps)
         rng_counts[chosen.category] += 1
     assert rng_counts["refactoring"] > rng_counts["cross-tree"]
+
+
+# -- regression tests: iteration budget and reward-bound bookkeeping ----------
+
+
+def test_parallel_search_honours_remainder_iterations(catalog, executor):
+    """13 iterations with sync every 5 must run 10 + a partial round of 3,
+    not silently drop the remainder."""
+    engine = make_engine(catalog, executor)
+    config = SearchConfig(
+        max_iterations=13,
+        sync_interval=5,
+        early_stop=10_000,
+        workers=1,
+        rollout_depth=4,
+        seed=9,
+    )
+    coordinator = ParallelCoordinator(
+        initial_difftrees(QUERIES), engine, simple_reward, config
+    )
+    result = coordinator.run()
+    assert result.stats.iterations == 13
+    assert result.stats.per_worker_iterations == [13]
+
+
+def test_parallel_search_remainder_scales_with_workers(catalog, executor):
+    engine = make_engine(catalog, executor)
+    config = SearchConfig(
+        max_iterations=7,
+        sync_interval=3,
+        early_stop=10_000,
+        workers=2,
+        rollout_depth=4,
+        seed=9,
+    )
+    result = ParallelCoordinator(
+        initial_difftrees(QUERIES), engine, simple_reward, config
+    ).run()
+    # every worker runs its full 7-iteration budget (3 + 3 + 1)
+    assert result.stats.iterations == 14
+    assert result.stats.per_worker_iterations == [7, 7]
+
+
+def test_reward_bounds_match_cache_extrema(catalog, executor):
+    """The incrementally maintained bounds must equal a full cache scan."""
+    engine = make_engine(catalog, executor)
+    config = SearchConfig(
+        max_iterations=12, early_stop=10_000, workers=1, rollout_depth=6, seed=3
+    )
+    worker = MCTSWorker(
+        SearchState(initial_difftrees(QUERIES)), engine, simple_reward, config
+    )
+    for _ in range(12):
+        worker.run_iteration()
+    finite = [r for r in worker._reward_cache.values() if r != float("-inf")]
+    assert finite, "search should have evaluated at least one state"
+    lo, hi = worker._reward_bounds()
+    if min(finite) == max(finite):
+        assert (lo, hi) == (min(finite), min(finite) + 1.0)
+    else:
+        assert (lo, hi) == (min(finite), max(finite))
+
+
+def test_reward_bounds_ignore_infinite_rewards(catalog, executor):
+    engine = make_engine(catalog, executor)
+    config = SearchConfig(max_iterations=4, early_stop=10_000, workers=1, seed=3)
+    worker = MCTSWorker(
+        SearchState(initial_difftrees(QUERIES)),
+        engine,
+        lambda state: float("-inf"),
+        config,
+    )
+    worker.run_iteration()
+    assert worker._reward_bounds() == (0.0, 1.0)
