@@ -21,6 +21,7 @@ from ..cost.model import CostModel
 from ..database.catalog import Catalog
 from ..database.datasets import standard_catalog
 from ..database.executor import Executor
+from ..database.plancache import SHARED_PLAN_CACHE
 from ..difftree.builder import (
     cluster_by_result_schema,
     initial_difftrees,
@@ -76,7 +77,10 @@ def generate_interface(
     """
     config = config or PipelineConfig()
     catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
-    executor = Executor(catalog)
+    # the executor compiles through the process-wide shared plan cache, so
+    # every MCTS worker's reward queries — and any executor a caller builds
+    # later over the same catalogue — reuse one compiled plan set
+    executor = Executor(catalog, plan_cache=SHARED_PLAN_CACHE)
     asts = parse_queries(queries)
 
     total_start = time.perf_counter()
@@ -111,7 +115,7 @@ def generate_interface(
         return -best
 
     search_start = time.perf_counter()
-    result = parallel_search(trees, engine, reward_fn, config.search)
+    result = parallel_search(trees, engine, reward_fn, config.search, executor=executor)
     search_seconds = time.perf_counter() - search_start
 
     # step 3: exhaustive interface mapping on the best state (Algorithm 1)

@@ -17,8 +17,10 @@ from .datasets import (
     small_catalog,
     standard_catalog,
 )
+from .columnar import ColumnarRelation, UnsupportedColumnar
 from .executor import ExecutionError, Executor
 from .functions import TODAY, function_return_type, is_aggregate
+from .plancache import SHARED_PLAN_CACHE, PlanCache
 from .planner import Plan, Planner, PlanningError, PlanStats
 from .statistics import (
     CATEGORICAL_CARDINALITY_THRESHOLD,
@@ -35,13 +37,17 @@ __all__ = [
     "CatalogError",
     "Column",
     "ColumnStatistics",
+    "ColumnarRelation",
     "DataType",
     "ExecutionError",
     "Executor",
     "Plan",
+    "PlanCache",
     "PlanStats",
     "Planner",
     "PlanningError",
+    "SHARED_PLAN_CACHE",
+    "UnsupportedColumnar",
     "RelColumn",
     "Relation",
     "ResultColumn",

@@ -1,19 +1,30 @@
 """A planned relational query executor over the in-memory catalogue.
 
-Execution is split into two layers.  :mod:`repro.database.planner` compiles
+Execution is split into three layers.  :mod:`repro.database.planner` compiles
 each SELECT AST into a small logical plan — scan → filter → join → group →
-project → order → limit — and this module runs those plans.  The plan layer
-exists because interface generation's MCTS reward loop executes thousands of
-small queries per run: hash equi-joins replace the interpreter's
-cross-product + filter (O(|L|+|R|) instead of O(|L|·|R|)), single-table WHERE
-conjuncts are pushed below joins onto base-table scans, and scans materialise
-only the columns a statement references.  Compiled plans are cached by AST
-fingerprint, so correlated subqueries re-executed per outer row plan once.
+project → order → limit; this module runs those plans row by row; and
+:mod:`repro.database.columnar` runs the same plans column-at-a-time over the
+column-major base tables (the default).  The plan layer exists because
+interface generation's MCTS reward loop executes thousands of small queries
+per run: hash equi-joins replace the interpreter's cross-product + filter
+(O(|L|+|R|) instead of O(|L|·|R|)), single-table WHERE conjuncts are pushed
+below joins onto base-table scans (and into FROM subqueries when provably
+safe), and scans materialise only the columns a statement references.
+
+Compiled plans are cached by AST fingerprint in a **process-wide** cache
+(:data:`repro.database.plancache.SHARED_PLAN_CACHE`) shared across every
+``Executor`` over the same catalogue, so the many executors the pipeline,
+interface runtime and benchmarks build over one catalogue compile each
+distinct query exactly once — and correlated subqueries re-executed per
+outer row plan once.
 
 The original AST interpreter is retained behind ``use_planner=False`` and
-serves as the equivalence oracle: planned execution must produce identical
-``ResultTable``s (columns, types, sources, and row order) for every supported
-query.  Supported SQL surface (unchanged from the interpreter):
+serves as the equivalence oracle: planned execution — row-based or columnar —
+must produce identical ``ResultTable``s (columns, types, sources, and row
+order) for every supported query.  Queries the vectorized engine cannot
+prove equivalent (scalar subqueries inside expressions, outer joins,
+aggregates outside grouping) silently fall back to the row-based plan path.
+Supported SQL surface (unchanged from the interpreter):
 
 * projections with expressions, aliases, ``DISTINCT``, ``*``
 * comma joins, explicit ``JOIN ... ON`` (inner / left / right), subqueries
@@ -45,10 +56,12 @@ from .functions import (
     SCALAR_FUNCTIONS,
     is_aggregate,
 )
+from .plancache import SHARED_PLAN_CACHE, PlanCache
 from .planner import (
     CrossJoinOp,
     FilterOp,
     HashJoinOp,
+    MapOp,
     NestedLoopJoinOp,
     Plan,
     Planner,
@@ -60,6 +73,7 @@ from .planner import (
 )
 from .table import RelColumn, Relation, ResultColumn, ResultTable, Table
 from .types import DataType, infer_value_type, unify_all
+from .values import arith_values, coerce_pair, compare_values, like, null_safe_key
 
 
 class ExecutionError(Exception):
@@ -112,7 +126,17 @@ class Executor:
         use_planner: run compiled plans (the default).  ``False`` falls back
             to direct AST interpretation — kept as the equivalence oracle for
             tests and as the baseline for the join benchmarks.
-        cache_size: LRU bound on the result cache (and the plan cache).
+        columnar: run plans on the vectorized column-at-a-time engine when
+            possible (the default).  ``False`` pins the row-based plan
+            executor — kept as the baseline for the columnar benchmarks.
+        allow_reorder: permit cost-based join reordering for queries whose
+            ORDER BY re-fixes the output row order.
+        cache_size: LRU bound on the result cache.
+        plan_cache: compiled-plan cache; defaults to the process-wide
+            :data:`~repro.database.plancache.SHARED_PLAN_CACHE` so executors
+            over the same catalogue share one compiled plan set.  Pass a
+            private :class:`~repro.database.plancache.PlanCache` to isolate
+            an executor (e.g. when benchmarking plan compilation itself).
     """
 
     def __init__(
@@ -120,16 +144,24 @@ class Executor:
         catalog: Catalog,
         enable_cache: bool = True,
         use_planner: bool = True,
+        columnar: bool = True,
+        allow_reorder: bool = True,
         cache_size: int = 1024,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.catalog = catalog
         self.enable_cache = enable_cache
         self.use_planner = use_planner
+        self.columnar = columnar
+        self.allow_reorder = allow_reorder
         self.cache_size = max(1, cache_size)
         self._cache: "OrderedDict[str, ResultTable]" = OrderedDict()
         self.stats = PlanStats()
-        self.planner = Planner(catalog, self.stats)
-        self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
+        self.planner = Planner(catalog, self.stats, allow_reorder=allow_reorder)
+        self.plan_cache = plan_cache if plan_cache is not None else SHARED_PLAN_CACHE
+        from .columnar import ColumnarEngine  # deferred: columnar imports planner
+
+        self._columnar_engine = ColumnarEngine(self)
 
     # -- public API --------------------------------------------------------
 
@@ -164,8 +196,9 @@ class Executor:
         return result
 
     def clear_cache(self) -> None:
+        """Drop this executor's cached results and its catalogue's plans."""
         self._cache.clear()
-        self._plan_cache.clear()
+        self.plan_cache.clear(self.catalog)
 
     def explain_sql(self, sql: str) -> str:
         """The compiled plan of a SQL string, rendered for inspection."""
@@ -181,16 +214,27 @@ class Executor:
             return self._execute_select_interpreted(stmt, env)
         plan = self._plan_for(stmt)
 
-        relation = self._exec_source(plan.source, env)
-        if plan.residual_where is not None:
-            relation = self._filter(relation, plan.residual_where, env)
+        result: Optional[ResultTable] = None
+        if self.columnar and plan.columnar_ok:
+            from .columnar import UnsupportedColumnar
 
-        if plan.groupby is not None or plan.has_aggregates:
-            result = self._execute_grouped(
-                relation, plan.select, plan.groupby, plan.having, env
-            )
-        else:
-            result = self._project(relation, plan.select, env)
+            try:
+                result = self._columnar_engine.execute_plan(plan, env)
+                self.stats.columnar_executions += 1
+            except UnsupportedColumnar:
+                self.stats.columnar_fallbacks += 1
+
+        if result is None:
+            relation = self._exec_source(plan.source, env)
+            if plan.residual_where is not None:
+                relation = self._filter(relation, plan.residual_where, env)
+
+            if plan.groupby is not None or plan.has_aggregates:
+                result = self._execute_grouped(
+                    relation, plan.select, plan.groupby, plan.having, env
+                )
+            else:
+                result = self._project(relation, plan.select, env)
 
         if plan.distinct:
             result = self._distinct(result)
@@ -201,16 +245,13 @@ class Executor:
         return result
 
     def _plan_for(self, stmt: Node) -> Plan:
-        key = stmt.fingerprint()
-        plan = self._plan_cache.get(key)
+        key = (stmt.fingerprint(), self.allow_reorder)
+        plan = self.plan_cache.get(self.catalog, key)
         if plan is not None:
-            self._plan_cache.move_to_end(key)
             self.stats.plan_cache_hits += 1
             return plan
         plan = self.planner.plan(stmt)
-        self._plan_cache[key] = plan
-        while len(self._plan_cache) > self.cache_size:
-            self._plan_cache.popitem(last=False)
+        self.plan_cache.put(self.catalog, key, plan)
         return plan
 
     # -- plan execution -------------------------------------------------------
@@ -255,6 +296,14 @@ class Executor:
             for pred in op.predicates:
                 relation = self._filter(relation, pred, env)
             return relation
+
+        if isinstance(op, MapOp):
+            relation = self._exec_op(op.child, env)
+            idx = op.indices
+            return Relation(
+                columns=list(op.schema),
+                rows=[tuple(row[i] for i in idx) for row in relation.rows],
+            )
 
         if isinstance(op, HashJoinOp):
             return self._exec_hash_join(op, env)
@@ -722,6 +771,18 @@ class Executor:
                     col.dtype = unify_all(infer_value_type(v) for v in observed)
         return ResultTable(columns, rows)
 
+    def _finalise_columns(
+        self, columns: list[ResultColumn], vectors: list[list], nrows: int
+    ) -> ResultTable:
+        """Column-vector counterpart of :meth:`_finalise` (same refinement)."""
+        if nrows:
+            for col, vec in zip(columns, vectors):
+                if col.dtype is DataType.ANY:
+                    observed = [v for v in vec if v is not None]
+                    if observed:
+                        col.dtype = unify_all(infer_value_type(v) for v in observed)
+        return ResultTable.from_columns(columns, vectors, nrows)
+
     # -- expression evaluation ----------------------------------------------------------
 
     def _contains_aggregate(self, node: Node) -> bool:
@@ -824,36 +885,13 @@ class Executor:
         left = self._eval_expr(node.children[0], env, group_rows, relation)
         right = self._eval_expr(node.children[1], env, group_rows, relation)
         if op in ("=", "<>", "!=", ">", "<", ">=", "<="):
-            if left is None or right is None:
-                return False
-            left, right = _coerce_pair(left, right)
-            if op == "=":
-                return left == right
-            if op in ("<>", "!="):
-                return left != right
-            if op == ">":
-                return left > right
-            if op == "<":
-                return left < right
-            if op == ">=":
-                return left >= right
-            return left <= right
+            return compare_values(op, left, right)
         if op == "LIKE":
-            return _like(left, right)
+            return like(left, right)
         if left is None or right is None:
             return None
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            return left / right if right != 0 else None
-        if op == "%":
-            return left % right if right != 0 else None
-        if op == "||":
-            return f"{left}{right}"
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return arith_values(op, left, right)
         raise ExecutionError(f"unsupported operator {op!r}")
 
     def _eval_func(
@@ -902,42 +940,8 @@ class Executor:
         return bool(value)
 
 
-# ---------------------------------------------------------------------------
-# helpers
-# ---------------------------------------------------------------------------
-
-
-def _coerce_pair(left: object, right: object) -> tuple[object, object]:
-    """Coerce operands so mixed numeric / textual comparisons behave sanely."""
-    if isinstance(left, bool) or isinstance(right, bool):
-        return left, right
-    if isinstance(left, (int, float)) and isinstance(right, str):
-        try:
-            return left, float(right)
-        except ValueError:
-            return str(left), right
-    if isinstance(left, str) and isinstance(right, (int, float)):
-        try:
-            return float(left), right
-        except ValueError:
-            return left, str(right)
-    return left, right
-
-
-def _like(value: object, pattern: object) -> bool:
-    """SQL LIKE with % and _ wildcards (case-insensitive, SQLite style)."""
-    if value is None or pattern is None:
-        return False
-    import re
-
-    regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".")
-    return re.fullmatch(regex, str(value), flags=re.IGNORECASE) is not None
-
-
-def _null_safe_key(value: object):
-    """Sort key that orders NULLs first and keeps mixed types comparable."""
-    if value is None:
-        return (0, "", 0)
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (1, "", value)
-    return (2, str(value), 0)
+# shared scalar semantics live in .values; the old private helpers are kept
+# as aliases for any external code that imported them
+_coerce_pair = coerce_pair
+_like = like
+_null_safe_key = null_safe_key

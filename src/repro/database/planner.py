@@ -14,7 +14,15 @@ for the MCTS reward loop's query traffic live:
   item are evaluated directly above that item's scan, before any join
   multiplies rows;
 * **projection pruning** — base-table scans materialise only the columns the
-  statement actually references.
+  statement actually references;
+* **subquery pushdown** — single-table ``WHERE`` conjuncts over a FROM
+  subquery alias are rewritten into the subquery's own ``WHERE`` when every
+  referenced output column provably maps to a base attribute, so the filter
+  runs below the subquery's scan instead of above its materialised result;
+* **cost-based join ordering** — when the query has an ``ORDER BY`` (which
+  re-fixes the output row order), comma-join chains are greedily reordered
+  smallest-estimated-input-first using ``statistics.py`` cardinalities, and a
+  :class:`MapOp` restores the original column layout above the joins.
 
 The planner is deliberately conservative: any construct it cannot prove safe
 (subqueries inside candidate predicates, FROM subqueries with statically
@@ -22,7 +30,8 @@ unknown schemas, non-equi join conditions, dtype combinations whose equality
 semantics rely on the executor's value coercion) falls back to the
 cross-join + filter strategy of the original interpreter, so planned
 execution is result-identical — including row order — to interpreting the
-AST node by node.
+AST node by node.  Plans carry a ``columnar_ok`` flag telling the executor
+whether the vectorized engine (:mod:`repro.database.columnar`) can run them.
 """
 
 from __future__ import annotations
@@ -62,10 +71,14 @@ class PlanStats:
     nested_loop_joins_planned: int = 0
     cross_joins_planned: int = 0
     predicates_pushed: int = 0
+    subquery_pushdowns: int = 0
+    joins_reordered: int = 0
     columns_pruned: int = 0
     hash_joins_executed: int = 0
     nested_loop_joins_executed: int = 0
     cross_joins_executed: int = 0
+    columnar_executions: int = 0
+    columnar_fallbacks: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
 
@@ -94,12 +107,24 @@ class ScanOp:
 
 @dataclass
 class SubqueryScanOp:
-    """Execute a FROM-clause subquery; its schema is only known at run time."""
+    """Execute a FROM-clause subquery.
+
+    ``schema`` is derived statically when the subquery is a plain projection
+    of a single base table (which also makes the item eligible for hash joins
+    and predicate classification); otherwise it stays ``None`` and the schema
+    is only known at run time.  ``pushdown_map`` maps output column names to
+    qualified base attributes of the inner FROM item, and ``pushdown_safe``
+    records whether rewriting outer conjuncts into the inner WHERE preserves
+    semantics (no LIMIT — filters commute with projection, DISTINCT and
+    ORDER BY, but not with row-count truncation).
+    """
 
     stmt: Node
     alias: Optional[str]
     schema: Optional[list[RelColumn]] = None
     estimated_rows: float = 0.0
+    pushdown_map: Optional[dict[str, str]] = None
+    pushdown_safe: bool = False
 
 
 @dataclass
@@ -154,7 +179,25 @@ class CrossJoinOp:
     estimated_rows: float = 0.0
 
 
-PlanOp = Union[ScanOp, SubqueryScanOp, FilterOp, HashJoinOp, NestedLoopJoinOp, CrossJoinOp]
+@dataclass
+class MapOp:
+    """Reorder / select columns of the child relation by position.
+
+    Emitted above a reordered join chain to restore the original FROM-order
+    column layout, so every stage above the joins (residual filters, ``*``
+    expansion, name resolution) sees exactly the schema the interpreter
+    would build.
+    """
+
+    child: "PlanOp"
+    indices: list[int]
+    schema: list[RelColumn]
+    estimated_rows: float = 0.0
+
+
+PlanOp = Union[
+    ScanOp, SubqueryScanOp, FilterOp, HashJoinOp, NestedLoopJoinOp, CrossJoinOp, MapOp
+]
 
 
 @dataclass
@@ -170,6 +213,10 @@ class Plan:
     limit: Optional[Node] = None
     distinct: bool = False
     has_aggregates: bool = False
+    #: True when the vectorized columnar engine can run this plan (no scalar
+    #: subqueries inside the projection / WHERE / GROUP BY / HAVING / join
+    #: conditions; subqueries in FROM and in ORDER BY / LIMIT are fine)
+    columnar_ok: bool = True
 
     # -- debugging / diagnostics ----------------------------------------
 
@@ -234,6 +281,10 @@ def _explain_op(op: PlanOp, depth: int) -> list[str]:
             + _explain_op(op.left, depth + 1)
             + _explain_op(op.right, depth + 1)
         )
+    if isinstance(op, MapOp):
+        return [f"{pad}MapColumns (restore FROM order)"] + _explain_op(
+            op.child, depth + 1
+        )
     raise PlanningError(f"unknown plan operator {op!r}")
 
 
@@ -243,11 +294,25 @@ def _explain_op(op: PlanOp, depth: int) -> list[str]:
 
 
 class Planner:
-    """Compiles SELECT statement ASTs into :class:`Plan` objects."""
+    """Compiles SELECT statement ASTs into :class:`Plan` objects.
 
-    def __init__(self, catalog: Catalog, stats: Optional[PlanStats] = None) -> None:
+    Args:
+        catalog: schemas and statistics for scans and join estimates.
+        stats: shared counters (defaults to a private instance).
+        allow_reorder: permit the cost-based join-ordering pass.  Reordering
+            changes intermediate row order, so even when enabled it is only
+            applied to queries whose ``ORDER BY`` re-fixes the output order.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: Optional[PlanStats] = None,
+        allow_reorder: bool = True,
+    ) -> None:
         self.catalog = catalog
         self.stats = stats or PlanStats()
+        self.allow_reorder = allow_reorder
 
     # -- public API --------------------------------------------------------
 
@@ -262,26 +327,92 @@ class Planner:
         referenced = self._referenced_columns(stmt, select)
         where = clauses.get(L.WHERE_CLAUSE)
         predicate = where.children[0] if where is not None else None
+        orderby = clauses.get(L.ORDERBY_CLAUSE)
 
         from_clause = clauses.get(L.FROM_CLAUSE)
         if from_clause is None:
             source, residual = None, predicate
         else:
-            source, residual = self._plan_from(from_clause, predicate, referenced)
+            reorder_ok = (
+                self.allow_reorder
+                and orderby is not None
+                and self._orderby_fixes_output(select, orderby)
+            )
+            source, residual = self._plan_from(
+                from_clause, predicate, referenced, reorder_ok
+            )
 
+        groupby = clauses.get(L.GROUPBY_CLAUSE)
         having = clauses.get(L.HAVING_CLAUSE)
         self.stats.plans_compiled += 1
         return Plan(
             source=source,
             residual_where=residual,
             select=select,
-            groupby=clauses.get(L.GROUPBY_CLAUSE),
+            groupby=groupby,
             having=having,
-            orderby=clauses.get(L.ORDERBY_CLAUSE),
+            orderby=orderby,
             limit=clauses.get(L.LIMIT_CLAUSE),
             distinct=select.value == "DISTINCT",
             has_aggregates=contains_aggregate(select) or having is not None,
+            columnar_ok=self._columnar_ok(select, predicate, groupby, having, from_clause),
         )
+
+    @staticmethod
+    def _orderby_fixes_output(select: Node, orderby: Node) -> bool:
+        """True when ORDER BY provably fixes the observable output order.
+
+        Join reordering changes intermediate row order, and a stable sort
+        preserves that order among rows that tie on the sort keys — so an
+        ORDER BY only makes reordering safe when ties are *unobservable*.
+        That holds when the sort keys cover every output column (all plain
+        column projections, matched by name or alias): rows tying on all
+        keys are then entirely identical, and swapping identical rows
+        cannot change the result, even under LIMIT.
+        """
+        keys = set()
+        for item in orderby.children:
+            expr = item.children[0]
+            if expr.label != L.COLUMN:
+                return False
+            keys.add(str(expr.value))
+        for item in select.children:
+            expr = item.children[0]
+            if expr.label != L.COLUMN:
+                return False  # expressions and * are never provably covered
+            alias = None
+            if len(item.children) > 1 and item.children[1].label == L.ALIAS:
+                alias = str(item.children[1].value)
+            if str(expr.value) not in keys and (alias is None or alias not in keys):
+                return False
+        return True
+
+    @staticmethod
+    def _columnar_ok(
+        select: Node,
+        predicate: Optional[Node],
+        groupby: Optional[Node],
+        having: Optional[Node],
+        from_clause: Optional[Node],
+    ) -> bool:
+        """True when no stage the vectorized engine runs contains a subquery.
+
+        FROM subqueries execute as their own statements and ORDER BY / LIMIT
+        run on the shared row-based tail, so only the projection, WHERE,
+        GROUP BY, HAVING and join ON conditions disqualify a plan.
+        """
+        suspects = [select, predicate, groupby, having]
+        if from_clause is not None:
+            for join in from_clause.find_label(L.JOIN):
+                if len(join.children) > 2:
+                    suspects.append(join.children[2])
+        for node in suspects:
+            if node is None:
+                continue
+            for n in node.walk():
+                if n.label in (L.SUBQUERY, L.IN_QUERY):
+                    return False
+        return True
 
     # -- projection pruning -------------------------------------------------
 
@@ -319,6 +450,7 @@ class Planner:
         from_clause: Node,
         predicate: Optional[Node],
         referenced: Optional[tuple[set, set]],
+        reorder_ok: bool = False,
     ) -> tuple[PlanOp, Optional[Node]]:
         items = [self._plan_table_ref(ref, referenced) for ref in from_clause.children]
         schemas = [op.schema for op in items]
@@ -342,27 +474,79 @@ class Planner:
         else:
             residual = list(conjuncts)
 
-        # attach single-item predicates directly above their item
+        # attach single-item predicates directly above their item; predicates
+        # over a FROM subquery are rewritten into the subquery's own WHERE
+        # when its output columns provably map to base attributes
         for idx, preds in enumerate(pushed):
             if not preds:
                 continue
             op = items[idx]
             if isinstance(op, ScanOp):
                 op.predicates.extend(preds)
+            elif isinstance(op, SubqueryScanOp):
+                leftover = self._push_into_subquery(op, preds)
+                if leftover:
+                    items[idx] = FilterOp(op, leftover, schema=op.schema)
             else:
                 items[idx] = FilterOp(op, preds, schema=op.schema)
 
-        # left-to-right join chain (preserves FROM order and row order)
-        acc = items[0]
-        offsets = [0]
-        for i in range(1, len(items)):
-            offsets.append(offsets[-1] + len(schemas[i - 1] or []))
-        for j in range(1, len(items)):
-            keys = [
-                (offsets[i] + li, lj)
-                for (i, li, jj, lj) in join_keys
-                if jj == j
+        order = list(range(len(items)))
+        reordered = None
+        if (
+            reorder_ok
+            and known
+            and len(items) >= 2
+            and join_keys
+            and all(ref.label == L.TABLE_REF for ref in from_clause.children)
+        ):
+            reordered = self._reorder(items, join_keys)
+        if reordered is not None:
+            order = reordered
+            self.stats.joins_reordered += 1
+
+        acc, offsets = self._build_chain(items, schemas, join_keys, order, known)
+        if order != list(range(len(items))):
+            # restore the original FROM-order column layout above the joins
+            indices = [
+                offsets[item] + c
+                for item in range(len(items))
+                for c in range(len(schemas[item] or []))
             ]
+            acc = MapOp(
+                acc,
+                indices,
+                schema=[col for s in schemas for col in (s or [])],
+                estimated_rows=acc.estimated_rows,
+            )
+
+        residual_node = _combine_conjuncts(residual)
+        return acc, residual_node
+
+    def _build_chain(
+        self,
+        items: list[PlanOp],
+        schemas: list[Optional[list[RelColumn]]],
+        join_keys: list[tuple[int, int, int, int]],
+        order: list[int],
+        known: bool,
+    ) -> tuple[PlanOp, dict[int, int]]:
+        """Left-deep join chain over ``items`` taken in ``order``.
+
+        Returns the chain root and each item's column offset in the chain's
+        combined schema.  A join key attaches as soon as both of its
+        endpoints are placed, so any permutation uses every key.
+        """
+        first = order[0]
+        acc = items[first]
+        offsets = {first: 0}
+        width = len(schemas[first] or [])
+        for j in order[1:]:
+            keys: list[tuple[int, int]] = []
+            for (a, la, b, lb) in join_keys:
+                if b == j and a in offsets:
+                    keys.append((offsets[a] + la, lb))
+                elif a == j and b in offsets:
+                    keys.append((offsets[b] + lb, la))
             right = items[j]
             if keys and known:
                 left_idx = [k[0] for k in keys]
@@ -385,9 +569,46 @@ class Planner:
                     estimated_rows=acc.estimated_rows * right.estimated_rows,
                 )
                 self.stats.cross_joins_planned += 1
+            offsets[j] = width
+            width += len(schemas[j] or [])
+        return acc, offsets
 
-        residual_node = _combine_conjuncts(residual)
-        return acc, residual_node
+    @staticmethod
+    def _reorder(
+        items: list[PlanOp], join_keys: list[tuple[int, int, int, int]]
+    ) -> Optional[list[int]]:
+        """Greedy smallest-input-first join order, or ``None`` to keep FROM order.
+
+        Starts from the smallest estimated input that participates in a join
+        key and repeatedly attaches the smallest item joinable to the placed
+        set (falling back to the smallest remaining item when none connect).
+        Smaller inputs earlier means smaller hash-join build sides and
+        smaller intermediate results.
+        """
+        n = len(items)
+        est = [op.estimated_rows for op in items]
+        partners: dict[int, set[int]] = {i: set() for i in range(n)}
+        for (a, _la, b, _lb) in join_keys:
+            partners[a].add(b)
+            partners[b].add(a)
+        connected = [i for i in range(n) if partners[i]]
+        if not connected:
+            return None
+        start = min(connected, key=lambda k: (est[k], k))
+        order = [start]
+        placed = {start}
+        while len(order) < n:
+            candidates = [
+                k for k in range(n) if k not in placed and partners[k] & placed
+            ]
+            if not candidates:
+                candidates = [k for k in range(n) if k not in placed]
+            nxt = min(candidates, key=lambda k: (est[k], k))
+            order.append(nxt)
+            placed.add(nxt)
+        if order == list(range(n)):
+            return None
+        return order
 
     def _plan_table_ref(
         self, ref: Node, referenced: Optional[tuple[set, set]]
@@ -404,8 +625,157 @@ class Planner:
         if source.label == L.TABLE_NAME:
             return self._plan_scan(str(source.value), alias, referenced)
         if source.label == L.SUBQUERY:
-            return SubqueryScanOp(source.children[0], alias)
+            op = SubqueryScanOp(source.children[0], alias)
+            self._derive_subquery_schema(op)
+            return op
         raise PlanningError(f"unsupported table reference {source.label!r}")
+
+    def _derive_subquery_schema(self, op: SubqueryScanOp) -> None:
+        """Statically derive the output schema of a simple FROM subquery.
+
+        Succeeds only for a plain (optionally DISTINCT) projection of columns
+        and ``*`` over a single base table with no grouping, aggregates or
+        HAVING — exactly the shape whose runtime ``ResultTable`` schema the
+        planner can predict, column for column.  On success the subquery item
+        participates in predicate classification and hash joins like a base
+        scan.
+        """
+        stmt = op.stmt
+        if stmt.label != L.SELECT_STMT:
+            return
+        clauses = {c.label: c for c in stmt.children}
+        select = clauses.get(L.SELECT_CLAUSE)
+        from_clause = clauses.get(L.FROM_CLAUSE)
+        if select is None or from_clause is None or len(from_clause.children) != 1:
+            return
+        if clauses.get(L.GROUPBY_CLAUSE) is not None or clauses.get(L.HAVING_CLAUSE) is not None:
+            return
+        if contains_aggregate(select):
+            return
+        ref = from_clause.children[0]
+        if ref.label != L.TABLE_REF or ref.children[0].label != L.TABLE_NAME:
+            return
+        table_name = str(ref.children[0].value)
+        if not self.catalog.has_table(table_name):
+            return
+        table = self.catalog.table(table_name)
+        inner_alias = None
+        if len(ref.children) > 1 and ref.children[1].label == L.ALIAS:
+            inner_alias = str(ref.children[1].value)
+        inner_qualifier = inner_alias or table.name
+
+        out: list[tuple[str, str]] = []  # (output name, inner bare column)
+        for item in select.children:
+            expr = item.children[0]
+            item_alias = None
+            if len(item.children) > 1 and item.children[1].label == L.ALIAS:
+                item_alias = str(item.children[1].value)
+            if expr.label == L.STAR and expr.value in ("*", None):
+                if item_alias is not None:
+                    return
+                out.extend((c.name, c.name) for c in table.columns)
+                continue
+            if expr.label != L.COLUMN:
+                return
+            name = str(expr.value)
+            qualifier, bare = None, name
+            if "." in name:
+                qualifier, bare = name.split(".", 1)
+            if qualifier is not None and qualifier.lower() != inner_qualifier.lower():
+                return
+            if not table.has_column(bare):
+                return
+            out.append(((item_alias or bare), bare))
+
+        # deduplicate output names exactly like the executor's output schema
+        seen: dict[str, int] = {}
+        schema: list[RelColumn] = []
+        pushdown_map: dict[str, str] = {}
+        for out_name, bare in out:
+            if out_name in seen:
+                seen[out_name] += 1
+                out_name = f"{out_name}_{seen[out_name]}"
+            else:
+                seen[out_name] = 0
+            col = table.column(bare)
+            schema.append(
+                RelColumn(
+                    name=out_name,
+                    qualifier=op.alias,
+                    dtype=col.dtype,
+                    source=f"{table.name}.{col.name}",
+                )
+            )
+            pushdown_map[out_name] = f"{inner_qualifier}.{bare}"
+
+        op.schema = schema
+        op.estimated_rows = float(len(table))
+        op.pushdown_map = pushdown_map
+        op.pushdown_safe = clauses.get(L.LIMIT_CLAUSE) is None
+
+    def _push_into_subquery(
+        self, op: SubqueryScanOp, preds: list[Node]
+    ) -> list[Node]:
+        """Rewrite pushable conjuncts into the subquery's own WHERE clause.
+
+        Returns the conjuncts that could not be rewritten (they stay above
+        the subquery scan as a FilterOp).  The subquery statement is copied
+        before modification so the caller's AST is never mutated.
+        """
+        if not op.pushdown_safe or not op.pushdown_map:
+            return preds
+        pushable: list[Node] = []
+        leftover: list[Node] = []
+        for conj in preds:
+            rewritten = self._rewrite_for_subquery(conj, op)
+            if rewritten is not None:
+                pushable.append(rewritten)
+            else:
+                leftover.append(conj)
+        if not pushable:
+            return leftover
+
+        new_stmt = op.stmt.copy()
+        where = next(
+            (c for c in new_stmt.children if c.label == L.WHERE_CLAUSE), None
+        )
+        if where is not None:
+            where.children[0] = _combine_conjuncts([where.children[0], *pushable])
+        else:
+            where = Node(L.WHERE_CLAUSE, None, [_combine_conjuncts(pushable)])
+            insert_at = 1 + next(
+                i
+                for i, c in enumerate(new_stmt.children)
+                if c.label == L.FROM_CLAUSE
+            )
+            new_stmt.children.insert(insert_at, where)
+        op.stmt = new_stmt
+        self.stats.subquery_pushdowns += len(pushable)
+        return leftover
+
+    def _rewrite_for_subquery(
+        self, conj: Node, op: SubqueryScanOp
+    ) -> Optional[Node]:
+        """A copy of ``conj`` with output-column references renamed to the
+        subquery's base attributes, or ``None`` when any reference does not
+        provably map to one."""
+        assert op.pushdown_map is not None
+        rewritten = conj.copy()
+        alias = (op.alias or "").lower()
+        for node in rewritten.walk():
+            if node.label != L.COLUMN:
+                continue
+            name = str(node.value)
+            bare = name
+            if "." in name:
+                qualifier, bare = name.split(".", 1)
+                if qualifier.lower() != alias:
+                    return None
+            inner = op.pushdown_map.get(bare)
+            if inner is None:
+                return None
+            node.value = inner
+        return rewritten
 
     def _plan_scan(
         self,
@@ -443,7 +813,7 @@ class Planner:
             qualifier=qualifier,
             schema=schema,
             column_indices=keep,
-            estimated_rows=float(len(table.rows)),
+            estimated_rows=float(len(table)),
         )
 
     def _plan_join(self, join: Node, referenced: Optional[tuple[set, set]]) -> PlanOp:

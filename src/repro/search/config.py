@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -68,3 +69,7 @@ class SearchStats:
     early_stopped: bool = False
     per_worker_iterations: list[int] = field(default_factory=list)
     search_seconds: float = 0.0
+    #: snapshot of the shared query-plan cache after the search (all workers
+    #: execute their reward queries through one process-wide compiled plan
+    #: set; populated when the coordinator is given the executor)
+    plan_cache: Optional[dict] = None

@@ -11,18 +11,28 @@ independent :class:`MCTSWorker` instances with distinct seeds whose iteration
 rounds are interleaved round-robin by the coordinator.  (True multi-process
 execution would change wall-clock numbers but not the search behaviour the
 paper's experiments study — see DESIGN.md, substitutions.)
+
+Every worker's reward evaluation executes SQL through the process-wide
+compiled-plan cache (:data:`repro.database.plancache.SHARED_PLAN_CACHE`), so
+the thousands of reward queries a search run issues share one compiled plan
+set no matter how many executors or workers are involved; pass the pipeline's
+``executor`` to the coordinator to surface the cache's hit statistics in
+:class:`SearchStats`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..difftree.tree import Difftree
 from ..transform.engine import TransformEngine
 from .config import SearchConfig, SearchStats
 from .mcts import MCTSWorker, RewardFn
 from .state import SearchState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..database.executor import Executor
 
 
 class ParallelSearchResult:
@@ -50,10 +60,12 @@ class ParallelCoordinator:
         engine: TransformEngine,
         reward_fn: RewardFn,
         config: Optional[SearchConfig] = None,
+        executor: Optional["Executor"] = None,
     ) -> None:
         self.config = config or SearchConfig()
         self.engine = engine
         self.reward_fn = reward_fn
+        self.executor = executor
         initial_state = SearchState(initial_trees)
         self.workers = [
             MCTSWorker(
@@ -113,6 +125,9 @@ class ParallelCoordinator:
             ),
             per_worker_iterations=[w.stats.iterations for w in self.workers],
             search_seconds=time.perf_counter() - start,
+            plan_cache=(
+                self.executor.plan_cache.info() if self.executor is not None else None
+            ),
         )
         return ParallelSearchResult(
             best_worker.best_state,
@@ -127,6 +142,9 @@ def parallel_search(
     engine: TransformEngine,
     reward_fn: RewardFn,
     config: Optional[SearchConfig] = None,
+    executor: Optional["Executor"] = None,
 ) -> ParallelSearchResult:
     """Convenience wrapper around :class:`ParallelCoordinator`."""
-    return ParallelCoordinator(initial_trees, engine, reward_fn, config).run()
+    return ParallelCoordinator(
+        initial_trees, engine, reward_fn, config, executor=executor
+    ).run()

@@ -1,0 +1,247 @@
+"""Columnar storage, vectorized execution, and the shared plan cache."""
+
+import pytest
+
+from repro.database import (
+    Catalog,
+    Column,
+    DataType,
+    Executor,
+    PlanCache,
+    SHARED_PLAN_CACHE,
+    Table,
+    standard_catalog,
+)
+from repro.database.table import ResultColumn, ResultTable
+
+CATALOG = standard_catalog(seed=7, scale=0.12)
+
+
+# -- columnar Table ------------------------------------------------------------
+
+
+def test_table_stores_columns_and_materialises_rows_lazily():
+    t = Table("x", [Column("a", DataType.INT), Column("b", DataType.STR)])
+    t.insert((1, "p"))
+    t.insert((2, "q"))
+    assert t.column_data(0) == [1, 2]
+    assert t.column_data(1) == ["p", "q"]
+    assert t._rows_cache is None  # nothing materialised yet
+    assert t.rows == [(1, "p"), (2, "q")]
+    assert t._rows_cache is not None
+    t.insert((3, "r"))  # insert invalidates the cache
+    assert t.rows == [(1, "p"), (2, "q"), (3, "r")]
+    assert len(t) == 3
+    assert list(iter(t)) == t.rows
+
+
+def test_table_values_returns_fresh_list():
+    t = Table("x", [Column("a", DataType.INT)])
+    t.insert((1,))
+    values = t.values("a")
+    values.append(99)
+    assert t.values("a") == [1]
+
+
+# -- ResultTable ---------------------------------------------------------------
+
+
+def test_result_table_column_index_is_dict_backed():
+    rt = ResultTable(
+        [ResultColumn("a", DataType.INT), ResultColumn("b", DataType.INT)],
+        [(1, 2)],
+    )
+    assert rt.column_index("a") == 0
+    assert rt.column_index("b") == 1
+    assert rt._index == {"a": 0, "b": 1}
+    with pytest.raises(KeyError):
+        rt.column_index("missing")
+    # duplicate names resolve to the first occurrence, like the linear scan did
+    dup = ResultTable(
+        [ResultColumn("a", DataType.INT), ResultColumn("a", DataType.INT)],
+        [(1, 2)],
+    )
+    assert dup.column_index("a") == 0
+
+
+def test_result_table_from_columns_materialises_rows_lazily():
+    rt = ResultTable.from_columns(
+        [ResultColumn("a", DataType.INT), ResultColumn("b", DataType.INT)],
+        [[1, 2, 3], [4, 5, 6]],
+    )
+    assert len(rt) == 3
+    assert rt.values("b") == [4, 5, 6]  # column access without materialising
+    assert rt._rows_cache is None
+    assert rt.rows == [(1, 4), (2, 5), (3, 6)]
+    assert rt.to_dicts()[0] == {"a": 1, "b": 4}
+
+
+def test_result_table_copy_is_defensive():
+    rt = ResultTable.from_columns([ResultColumn("a", DataType.INT)], [[1, 2]])
+    cp = rt.copy()
+    cp.rows.append((99,))
+    cp.columns[0].name = "renamed"
+    assert rt.rows == [(1,), (2,)]
+    assert rt.columns[0].name == "a"
+
+
+# -- vectorized execution ------------------------------------------------------
+
+
+def make_pair():
+    private = PlanCache()
+    row = Executor(
+        CATALOG, enable_cache=False, columnar=False, plan_cache=private
+    )
+    col = Executor(
+        CATALOG, enable_cache=False, columnar=True, plan_cache=private
+    )
+    return row, col
+
+
+def test_columnar_runs_supported_queries():
+    _, col = make_pair()
+    col.execute_sql("SELECT hour, count(*) FROM flights GROUP BY hour")
+    assert col.stats.columnar_executions == 1
+    assert col.stats.columnar_fallbacks == 0
+
+
+def test_columnar_result_matches_row_plan_on_join():
+    row, col = make_pair()
+    sql = (
+        "SELECT gal.objID, s.ra FROM galaxy as gal, specObj as s "
+        "WHERE s.bestObjID = gal.objID AND s.ra > 213.0"
+    )
+    assert row.execute_sql(sql).rows == col.execute_sql(sql).rows
+    assert col.stats.hash_joins_executed == 1
+
+
+def test_outer_join_falls_back_to_row_plans():
+    _, col = make_pair()
+    result = col.execute_sql(
+        "SELECT t.p, s.ra FROM T as t LEFT JOIN specObj as s ON t.p = s.specObjID"
+    )
+    assert col.stats.columnar_fallbacks == 1
+    assert len(result.rows) > 0
+
+
+def test_correlated_scalar_subquery_is_gated_at_plan_time():
+    _, col = make_pair()
+    col.execute_sql(
+        "SELECT total FROM sales WHERE total >= (SELECT max(total) FROM sales)"
+    )
+    # the outer query is row-planned (columnar_ok False, not a runtime
+    # fallback); the inner aggregate subquery itself runs columnar
+    assert col.stats.columnar_fallbacks == 0
+    assert col.stats.columnar_executions >= 1
+
+
+def test_columnar_hash_join_builds_on_smaller_side():
+    """Build-side selection must not change results or row order."""
+    small = Table.from_rows(
+        "small", [Column("k", DataType.INT)], [(2,), (1,), (2,)]
+    )
+    big = Table.from_rows(
+        "big",
+        [Column("k", DataType.INT), Column("v", DataType.INT)],
+        [(i % 3, i) for i in range(20)],
+    )
+    catalog = Catalog([small, big])
+    private = PlanCache()
+    expected = Executor(catalog, enable_cache=False, use_planner=False).execute_sql(
+        "SELECT small.k, big.v FROM small, big WHERE small.k = big.k"
+    )
+    for sql in (
+        "SELECT small.k, big.v FROM small, big WHERE small.k = big.k",
+        "SELECT big.v, small.k FROM big, small WHERE small.k = big.k",
+    ):
+        col = Executor(catalog, enable_cache=False, plan_cache=private)
+        actual = col.execute_sql(sql)
+        oracle = Executor(catalog, enable_cache=False, use_planner=False).execute_sql(sql)
+        assert actual.rows == oracle.rows
+    assert expected.rows  # sanity: the join is not empty
+
+
+def test_columnar_results_are_snapshots_of_base_storage():
+    """A projected result must not alias the table's column storage: rows
+    inserted after the query ran may not appear in an already-built result."""
+    t = Table.from_rows("snap", [Column("a", DataType.INT)], [(1,), (2,)])
+    catalog = Catalog([t])
+    ex = Executor(catalog, enable_cache=False, plan_cache=PlanCache())
+    result = ex.execute_sql("SELECT a FROM snap")
+    t.insert((3,))
+    assert result.values("a") == [1, 2]
+    assert result.rows == [(1,), (2,)]
+
+
+# -- shared plan cache ---------------------------------------------------------
+
+
+def test_plan_cache_is_shared_across_executors():
+    catalog = standard_catalog(seed=11, scale=0.1)
+    cache = PlanCache()
+    first = Executor(catalog, enable_cache=False, plan_cache=cache)
+    second = Executor(catalog, enable_cache=False, plan_cache=cache)
+    sql = "SELECT hp FROM Cars WHERE mpg > 20"
+    first.execute_sql(sql)
+    assert first.stats.plans_compiled == 1
+    second.execute_sql(sql)
+    # the second executor never compiles: it reuses the first one's plan
+    assert second.stats.plans_compiled == 0
+    assert second.stats.plan_cache_hits == 1
+    assert cache.info()["plans"] == 1
+
+
+def test_plan_cache_is_partitioned_by_catalog():
+    cache = PlanCache()
+    cat_a = standard_catalog(seed=11, scale=0.1)
+    cat_b = standard_catalog(seed=12, scale=0.1)
+    sql = "SELECT hp FROM Cars"
+    Executor(cat_a, enable_cache=False, plan_cache=cache).execute_sql(sql)
+    ex_b = Executor(cat_b, enable_cache=False, plan_cache=cache)
+    ex_b.execute_sql(sql)
+    # same fingerprint, different catalogue: must compile its own plan
+    assert ex_b.stats.plans_compiled == 1
+    assert cache.info()["catalogs"] == 2
+
+
+def test_plan_cache_entries_die_with_their_catalog():
+    cache = PlanCache()
+    catalog = standard_catalog(seed=11, scale=0.1)
+    Executor(catalog, enable_cache=False, plan_cache=cache).execute_sql(
+        "SELECT hp FROM Cars"
+    )
+    assert cache.size() == 1
+    del catalog
+    import gc
+
+    gc.collect()
+    assert cache.size() == 0
+
+
+def test_plan_cache_lru_bound():
+    cache = PlanCache(max_size_per_catalog=2)
+    catalog = standard_catalog(seed=11, scale=0.1)
+    ex = Executor(catalog, enable_cache=False, plan_cache=cache)
+    ex.execute_sql("SELECT hp FROM Cars")
+    ex.execute_sql("SELECT mpg FROM Cars")
+    ex.execute_sql("SELECT disp FROM Cars")
+    assert cache.size(catalog) == 2
+
+
+def test_default_executor_uses_process_wide_cache():
+    ex = Executor(standard_catalog(seed=13, scale=0.1))
+    assert ex.plan_cache is SHARED_PLAN_CACHE
+
+
+def test_clear_cache_only_drops_own_catalog_plans():
+    cache = PlanCache()
+    cat_a = standard_catalog(seed=11, scale=0.1)
+    cat_b = standard_catalog(seed=12, scale=0.1)
+    ex_a = Executor(cat_a, enable_cache=False, plan_cache=cache)
+    ex_b = Executor(cat_b, enable_cache=False, plan_cache=cache)
+    ex_a.execute_sql("SELECT hp FROM Cars")
+    ex_b.execute_sql("SELECT hp FROM Cars")
+    ex_a.clear_cache()
+    assert cache.size(cat_a) == 0
+    assert cache.size(cat_b) == 1

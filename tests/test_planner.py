@@ -1,7 +1,8 @@
 """Plan layer tests: hash joins, predicate pushdown, projection pruning.
 
-The core property: for every query the system supports, the planned executor
-must produce a ``ResultTable`` identical to the pre-plan AST interpreter —
+The core property: for every query the system supports, *both* planned
+executors — the row-based plan runner and the vectorized columnar engine —
+must produce a ``ResultTable`` identical to the pre-plan AST interpreter:
 same column names, types, sources and aggregate flags, and the same rows in
 the same order (order matters: ``LIMIT`` without ``ORDER BY`` is only
 deterministic if planned joins preserve the interpreter's row order).
@@ -11,13 +12,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.database import Executor, standard_catalog
+from repro.database import Executor, PlanCache, standard_catalog
 from repro.database.planner import (
     CrossJoinOp,
     HashJoinOp,
+    MapOp,
     NestedLoopJoinOp,
     Planner,
     ScanOp,
+    SubqueryScanOp,
 )
 from repro.sqlparser import parse
 from repro.workloads.logs import WORKLOADS
@@ -68,6 +71,34 @@ EXTRA_QUERIES = [
     "SELECT p FROM T WHERE a = b",
     # projection pruning with aggregates only
     "SELECT count(*) FROM flights WHERE dist > 500",
+    # ORDER BY over a multi-table comma join: join reordering kicks in and a
+    # MapOp must restore the interpreter's column layout
+    "SELECT gal.objID, s.ra, t.p FROM galaxy as gal, specObj as s, T as t "
+    "WHERE s.bestObjID = gal.objID AND t.p = gal.objID "
+    "ORDER BY gal.objID, s.ra, t.p",
+    # single-table conjuncts over a FROM-subquery alias: pushed into the
+    # subquery's own WHERE (ResultColumn.source proves the mapping)
+    "SELECT sub.hour, sub.delay FROM (SELECT hour, delay FROM flights) sub "
+    "WHERE sub.delay > 30 AND sub.hour < 5",
+    "SELECT h FROM (SELECT hour as h, dist FROM flights) sub "
+    "WHERE h BTWN 2 & 9 AND dist > 300 LIMIT 11",
+    # subquery alias joined to a base table through its static schema
+    "SELECT sub.id, c.hp FROM (SELECT id, mpg FROM Cars) sub, Cars as c "
+    "WHERE sub.id = c.id AND sub.mpg > 20",
+    # LIMIT inside the subquery blocks pushdown (filter does not commute)
+    "SELECT v FROM (SELECT hp as v FROM Cars LIMIT 17) sub WHERE v > 100",
+    # expression-heavy projection and CASE on the columnar path
+    "SELECT hp * 2 + 1, CASE WHEN hp > 120 THEN 'big' ELSE 'small' END "
+    "FROM Cars WHERE mpg IS NOT NULL",
+    # scalar functions, IN lists and LIKE on the columnar path
+    "SELECT upper(origin), length(origin) FROM Cars "
+    "WHERE origin LIKE '%an%' OR id IN (1, 2, 3)",
+    # grouped aggregates combined in arithmetic and compared in HAVING
+    "SELECT origin, sum(hp) / count(*) FROM Cars GROUP BY origin "
+    "HAVING count(*) > 2 AND avg(mpg) > 10",
+    # count(DISTINCT ...) and aggregates over an empty relation
+    "SELECT count(DISTINCT origin) FROM Cars",
+    "SELECT count(*), sum(hp), min(hp) FROM Cars WHERE hp > 100000",
 ]
 
 
@@ -78,28 +109,37 @@ def interpreted():
 
 @pytest.fixture(scope="module")
 def planned():
-    return Executor(CATALOG, enable_cache=False, use_planner=True)
+    return Executor(CATALOG, enable_cache=False, use_planner=True, columnar=False)
 
 
-def assert_equivalent(interpreted, planned, sql):
+@pytest.fixture(scope="module")
+def columnar():
+    return Executor(CATALOG, enable_cache=False, use_planner=True, columnar=True)
+
+
+def assert_equivalent(interpreted, planned, sql, columnar=None):
     expected = interpreted.execute_sql(sql)
-    actual = planned.execute_sql(sql)
-    assert [
-        (c.name, c.dtype, c.source, c.is_aggregate) for c in expected.columns
-    ] == [(c.name, c.dtype, c.source, c.is_aggregate) for c in actual.columns]
-    assert expected.rows == actual.rows, f"row mismatch for: {sql}"
+    actuals = [planned.execute_sql(sql)]
+    if columnar is not None:
+        actuals.append(columnar.execute_sql(sql))
+    for actual in actuals:
+        assert [
+            (c.name, c.dtype, c.source, c.is_aggregate) for c in expected.columns
+        ] == [(c.name, c.dtype, c.source, c.is_aggregate) for c in actual.columns]
+        assert expected.rows == actual.rows, f"row mismatch for: {sql}"
 
 
 @pytest.mark.parametrize("sql", WORKLOAD_QUERIES)
-def test_workload_query_equivalence(interpreted, planned, sql):
-    """Property: plans are result-identical to the interpreter on every
-    query of the paper's workload logs."""
-    assert_equivalent(interpreted, planned, sql)
+def test_workload_query_equivalence(interpreted, planned, columnar, sql):
+    """Property: row plans *and* columnar plans are result-identical to the
+    interpreter — including row order — on every query of the paper's
+    workload logs."""
+    assert_equivalent(interpreted, planned, sql, columnar)
 
 
 @pytest.mark.parametrize("sql", EXTRA_QUERIES)
-def test_join_and_pushdown_equivalence(interpreted, planned, sql):
-    assert_equivalent(interpreted, planned, sql)
+def test_join_and_pushdown_equivalence(interpreted, planned, columnar, sql):
+    assert_equivalent(interpreted, planned, sql, columnar)
 
 
 @settings(max_examples=25, deadline=None)
@@ -113,14 +153,81 @@ def test_sdss_join_equivalence_property(ra_lo, ra_span, dec_lo, dec_span):
     """Hash-join + pushdown plans match the interpreter for arbitrary
     range predicates over the SDSS join (the paper's Listing 5 shape)."""
     interpreted = Executor(CATALOG, enable_cache=False, use_planner=False)
-    planned = Executor(CATALOG, enable_cache=False, use_planner=True)
+    planned = Executor(CATALOG, enable_cache=False, use_planner=True, columnar=False)
+    columnar = Executor(CATALOG, enable_cache=False, use_planner=True, columnar=True)
     sql = (
         "SELECT DISTINCT gal.objID, gal.u, s.ra, s.dec "
         "FROM galaxy as gal, specObj as s "
         f"WHERE s.bestObjID = gal.objID AND s.ra BETWEEN {ra_lo} AND {ra_lo + ra_span} "
         f"AND s.dec BETWEEN {dec_lo} AND {dec_lo + dec_span}"
     )
-    assert_equivalent(interpreted, planned, sql)
+    assert_equivalent(interpreted, planned, sql, columnar)
+
+
+#: value pools for the mixed NULL/NaN sweep: join keys and measures drawn
+#: from a small domain so joins, groups and aggregates all hit collisions
+_KEY_POOL = st.one_of(
+    st.none(),
+    st.just(float("nan")),
+    st.integers(0, 3),
+    st.sampled_from([0.0, 1.0, 2.5]),
+)
+_MEASURE_POOL = st.one_of(st.none(), st.just(float("nan")), st.integers(-5, 5))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.lists(st.tuples(_KEY_POOL, _MEASURE_POOL), max_size=12),
+    right=st.lists(st.tuples(_KEY_POOL, _MEASURE_POOL), max_size=12),
+)
+def test_null_nan_equivalence_property(left, right):
+    """All three engines agree — rows and order — over columns mixing NULLs,
+    NaNs, ints and floats: the join-key skip rules, NULL-rejecting
+    comparisons and NULL-skipping aggregates must line up exactly."""
+    from repro.database import Catalog, Column, DataType, Table
+
+    catalog = Catalog(
+        [
+            Table.from_rows(
+                "lt",
+                [Column("k", DataType.FLOAT), Column("v", DataType.FLOAT)],
+                [tuple(r) for r in left],
+            ),
+            Table.from_rows(
+                "rt",
+                [Column("k", DataType.FLOAT), Column("w", DataType.FLOAT)],
+                [tuple(r) for r in right],
+            ),
+        ]
+    )
+    interpreted = Executor(catalog, enable_cache=False, use_planner=False)
+    planned = Executor(
+        catalog, enable_cache=False, columnar=False, plan_cache=PlanCache()
+    )
+    columnar = Executor(
+        catalog, enable_cache=False, columnar=True, plan_cache=PlanCache()
+    )
+    queries = [
+        "SELECT lt.v, rt.w FROM lt, rt WHERE lt.k = rt.k",
+        "SELECT k, count(*), count(v), sum(v), avg(v), min(v), max(v) "
+        "FROM lt GROUP BY k",
+        "SELECT v FROM lt WHERE v > 0 OR v IS NULL",
+        "SELECT count(DISTINCT k) FROM lt WHERE k >= 0",
+        "SELECT lt.k, rt.w FROM lt, rt WHERE lt.k = rt.k AND rt.w <= 2",
+    ]
+    for sql in queries:
+        expected = interpreted.execute_sql(sql)
+        for engine in (planned, columnar):
+            actual = engine.execute_sql(sql)
+            assert _nansafe(expected.rows) == _nansafe(actual.rows), sql
+
+
+def _nansafe(rows):
+    """Rows with NaNs made comparable (nan != nan breaks list equality)."""
+    return [
+        tuple("<nan>" if isinstance(v, float) and v != v else v for v in row)
+        for row in rows
+    ]
 
 
 # -- plan shape ---------------------------------------------------------------
@@ -222,7 +329,9 @@ def test_explain_renders_plan_stages():
 
 
 def test_plan_stats_are_collected():
-    ex = Executor(CATALOG, enable_cache=False)
+    # a private plan cache keeps the counters deterministic regardless of
+    # what other tests have already compiled into the shared cache
+    ex = Executor(CATALOG, enable_cache=False, plan_cache=PlanCache())
     ex.execute_sql(
         "SELECT gal.objID FROM galaxy as gal, specObj as s "
         "WHERE s.bestObjID = gal.objID AND s.ra > 213.5"
@@ -231,12 +340,152 @@ def test_plan_stats_are_collected():
     assert ex.stats.hash_joins_planned >= 1
     assert ex.stats.hash_joins_executed >= 1
     assert ex.stats.predicates_pushed >= 1
+    assert ex.stats.columnar_executions >= 1
     # re-execution reuses the compiled plan
     ex.execute_sql(
         "SELECT gal.objID FROM galaxy as gal, specObj as s "
         "WHERE s.bestObjID = gal.objID AND s.ra > 213.5"
     )
     assert ex.stats.plan_cache_hits >= 1
+
+
+def test_orderby_join_chain_is_reordered_with_map_restore():
+    """With ORDER BY fixing the output order, the comma-join chain starts
+    from the smallest estimated input and a MapOp restores the FROM-order
+    column layout above the joins."""
+    plan = plan_for(
+        "SELECT gal.objID, s.ra, t.p FROM galaxy as gal, specObj as s, T as t "
+        "WHERE s.bestObjID = gal.objID AND t.p = gal.objID "
+        "ORDER BY gal.objID, s.ra, t.p"
+    )
+    assert isinstance(plan.source, MapOp)
+    # T is the smallest table, so it must be the deepest-left chain input
+    op = plan.source.child
+    while isinstance(op, HashJoinOp):
+        op = op.left
+    assert isinstance(op, ScanOp) and op.table == "T"
+    # the restored schema matches FROM order: galaxy, specObj, T qualifiers
+    qualifiers = [c.qualifier for c in plan.source.schema]
+    assert qualifiers == sorted(qualifiers, key=["gal", "s", "t"].index)
+
+
+def test_no_orderby_keeps_from_order():
+    plan = plan_for(
+        "SELECT gal.objID, s.ra, t.p FROM galaxy as gal, specObj as s, T as t "
+        "WHERE s.bestObjID = gal.objID AND t.p = gal.objID"
+    )
+    assert not isinstance(plan.source, MapOp)
+
+
+def test_reorder_requires_orderby_to_cover_all_outputs():
+    """ORDER BY over a strict subset of the output columns leaves ties whose
+    order the interpreter's stable sort fixes from FROM order — reordering
+    would be observable, so the pass must not fire."""
+    plan = plan_for(
+        "SELECT gal.objID, s.ra, t.p FROM galaxy as gal, specObj as s, T as t "
+        "WHERE s.bestObjID = gal.objID AND t.p = gal.objID ORDER BY gal.objID"
+    )
+    assert not isinstance(plan.source, MapOp)
+
+
+def test_reorder_tie_order_matches_interpreter():
+    """Regression: tied ORDER BY keys must not expose the reordered join's
+    intermediate row order (LIMIT would even return different rows)."""
+    from repro.database import Catalog, Column, DataType, Table
+
+    catalog = Catalog(
+        [
+            Table.from_rows(
+                "a",
+                [Column("k", DataType.INT), Column("v", DataType.INT)],
+                [(1, 10), (2, 10), (3, 10)],
+            ),
+            Table.from_rows(
+                "b",
+                [Column("k", DataType.INT), Column("w", DataType.INT)],
+                [(2, 200), (1, 100)],
+            ),
+        ]
+    )
+    interpreted = Executor(catalog, enable_cache=False, use_planner=False)
+    planned = Executor(catalog, enable_cache=False, plan_cache=PlanCache())
+    for sql in (
+        "SELECT a.v, b.w FROM a, b WHERE a.k = b.k ORDER BY a.v",
+        "SELECT a.v, b.w FROM a, b WHERE a.k = b.k ORDER BY a.v LIMIT 1",
+    ):
+        assert interpreted.execute_sql(sql).rows == planned.execute_sql(sql).rows, sql
+    assert planned.stats.joins_reordered == 0
+
+
+def test_scalar_function_with_stray_distinct_over_aggregate():
+    """Regression: round(DISTINCT sum(x)) must not crash the columnar group
+    evaluator — the row engine ignores the stray DISTINCT, so must we."""
+    interpreted = Executor(CATALOG, enable_cache=False, use_planner=False)
+    columnar = Executor(CATALOG, enable_cache=False, plan_cache=PlanCache())
+    sql = "SELECT origin, round(DISTINCT sum(hp)) FROM Cars GROUP BY origin"
+    assert interpreted.execute_sql(sql).rows == columnar.execute_sql(sql).rows
+    assert columnar.stats.columnar_fallbacks == 0
+
+
+def test_reorder_can_be_disabled():
+    planner = Planner(CATALOG, allow_reorder=False)
+    plan = planner.plan(
+        parse(
+            "SELECT gal.objID, t.p FROM galaxy as gal, specObj as s, T as t "
+            "WHERE s.bestObjID = gal.objID AND t.p = gal.objID ORDER BY t.p"
+        )
+    )
+    assert not isinstance(plan.source, MapOp)
+    assert planner.stats.joins_reordered == 0
+
+
+def test_subquery_conjuncts_are_pushed_into_subquery_where():
+    planner = Planner(CATALOG)
+    plan = planner.plan(
+        parse(
+            "SELECT sub.hour FROM (SELECT hour, delay FROM flights) sub "
+            "WHERE sub.delay > 30 AND sub.hour < 5"
+        )
+    )
+    assert planner.stats.subquery_pushdowns == 2
+    scan = plan.source
+    assert isinstance(scan, SubqueryScanOp)
+    assert plan.residual_where is None
+    # the rewritten subquery carries the conjuncts in its own WHERE
+    from repro.sqlparser import to_sql
+
+    inner = to_sql(scan.stmt)
+    assert "delay > 30" in inner and "hour < 5" in inner
+
+
+def test_subquery_pushdown_blocked_by_limit():
+    planner = Planner(CATALOG)
+    plan = planner.plan(
+        parse("SELECT v FROM (SELECT hp as v FROM Cars LIMIT 17) sub WHERE v > 100")
+    )
+    assert planner.stats.subquery_pushdowns == 0
+    # the predicate stays above the subquery scan instead
+    assert not isinstance(plan.source, SubqueryScanOp) or plan.residual_where is not None
+
+
+def test_static_subquery_schema_enables_hash_join():
+    plan = plan_for(
+        "SELECT sub.id, c.hp FROM (SELECT id, mpg FROM Cars) sub, Cars as c "
+        "WHERE sub.id = c.id"
+    )
+    assert isinstance(plan.source, HashJoinOp)
+
+
+def test_plans_with_scalar_subqueries_are_not_columnar():
+    plan = plan_for(
+        "SELECT total FROM sales WHERE total >= (SELECT max(total) FROM sales)"
+    )
+    assert plan.columnar_ok is False
+    plan = plan_for("SELECT hp FROM Cars WHERE mpg > 20")
+    assert plan.columnar_ok is True
+    # FROM subqueries execute separately: they do not disqualify the outer plan
+    plan = plan_for("SELECT hour FROM (SELECT hour FROM flights) sub WHERE hour > 1")
+    assert plan.columnar_ok is True
 
 
 def test_nan_join_keys_never_match():
