@@ -30,6 +30,7 @@ from ..difftree.builder import (
 )
 from ..interface.spec import Interface
 from ..mapping.mapper import InterfaceMapper
+from ..mapping.memo import SHARED_MAPPING_MEMO
 from ..search.parallel import parallel_search
 from ..search.state import SearchState
 from ..sqlparser.ast_nodes import Node
@@ -81,6 +82,16 @@ def generate_interface(
     # every MCTS worker's reward queries — and any executor a caller builds
     # later over the same catalogue — reuse one compiled plan set
     executor = Executor(catalog, plan_cache=SHARED_PLAN_CACHE)
+    # the reward loop never observes row order (schemas, safety checks and
+    # costs are all multiset-level), so its executor opts into cost-based
+    # join reordering without the ORDER-BY gate; the final Algorithm-1
+    # mapping keeps the strict executor.  Both share one PlanStats sink.
+    reward_executor = Executor(
+        catalog,
+        plan_cache=SHARED_PLAN_CACHE,
+        order_insensitive=True,
+        stats=executor.stats,
+    )
     asts = parse_queries(queries)
 
     total_start = time.perf_counter()
@@ -98,12 +109,25 @@ def generate_interface(
     if config.initial_refactor:
         trees = engine.refactor_to_fixpoint(trees)
     cost_model = CostModel(asts, config.cost)
-    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper)
+    # two-level cache hierarchy: both mappers share the process-wide mapping
+    # memo (level 2) on top of the shared plan cache (level 1), so fragments
+    # derived during the reward loop are reused by the final Algorithm-1
+    # mapping — and vice versa across pipeline runs on the same catalogue
+    memo = SHARED_MAPPING_MEMO if config.mapper.memoize else None
+    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper, memo=memo)
+    reward_mapper = InterfaceMapper(
+        catalog,
+        reward_executor,
+        cost_model,
+        config.mapper,
+        memo=memo,
+        stats=mapper.stats,
+    )
 
     reward_rng = random.Random(config.seed + 101)
 
     def reward_fn(state: SearchState) -> float:
-        interfaces = mapper.random_interfaces(
+        interfaces = reward_mapper.random_interfaces(
             state.trees, config.search.reward_mappings, reward_rng
         )
         if not interfaces:
@@ -115,7 +139,14 @@ def generate_interface(
         return -best
 
     search_start = time.perf_counter()
-    result = parallel_search(trees, engine, reward_fn, config.search, executor=executor)
+    result = parallel_search(
+        trees,
+        engine,
+        reward_fn,
+        config.search,
+        executor=executor,
+        mapping_memo=memo,
+    )
     search_seconds = time.perf_counter() - search_start
 
     # step 3: exhaustive interface mapping on the best state (Algorithm 1)

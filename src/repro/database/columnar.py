@@ -88,6 +88,43 @@ class ColumnarRelation:
         )
 
 
+class _LazyCols:
+    """Column accessor that gathers base columns through a selection vector
+    on first access, caching per column index."""
+
+    __slots__ = ("base", "sel", "cache")
+
+    def __init__(self, base: list[list], sel: list[int]) -> None:
+        self.base = base
+        self.sel = sel
+        self.cache: dict[int, list] = {}
+
+    def __getitem__(self, idx: int) -> list:
+        col = self.cache.get(idx)
+        if col is None:
+            base_col = self.base[idx]
+            col = [base_col[i] for i in self.sel]
+            self.cache[idx] = col
+        return col
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+
+class _SelectionView(ColumnarRelation):
+    """A row-selected view of a relation used while chaining filter conjuncts.
+
+    Presents the rows named by ``sel`` without materialising them: columns
+    gather lazily, so a predicate that references two of ten columns costs
+    two gathers instead of ten.
+    """
+
+    def __init__(self, base: ColumnarRelation, sel: list[int]) -> None:
+        self.columns = base.columns
+        self.cols = _LazyCols(base.cols, sel)
+        self.nrows = len(sel)
+
+
 # vector results are tagged: (True, list_of_n_values) or (False, scalar)
 _VECTOR = True
 _SCALAR = False
@@ -141,11 +178,9 @@ class ColumnarEngine:
                 else:
                     cols = [table.column_data(i) for i in op.column_indices]
                 crel = ColumnarRelation(list(op.schema), cols, len(table))
-                for pred in op.predicates:
-                    crel = self._filter(crel, pred, env)
-                return crel
+                return self._filter_chain(crel, op.predicates, env)
             if isinstance(op, SubqueryScanOp):
-                sub = self.ex.execute(op.stmt, env)
+                sub = self.ex.execute(op.stmt, env, _nested=True)
                 columns = [
                     RelColumn(c.name, op.alias, c.dtype, c.source, c.is_aggregate)
                     for c in sub.columns
@@ -154,9 +189,7 @@ class ColumnarEngine:
                 return ColumnarRelation(columns, cols, len(sub))
             if isinstance(op, FilterOp):
                 crel = run(op.child)
-                for pred in op.predicates:
-                    crel = self._filter(crel, pred, env)
-                return crel
+                return self._filter_chain(crel, op.predicates, env)
             if isinstance(op, MapOp):
                 crel = run(op.child)
                 return ColumnarRelation(
@@ -205,6 +238,59 @@ class ColumnarEngine:
         if len(keep) == crel.nrows:
             return crel
         return crel.gather(keep)
+
+    def _filter_chain(
+        self,
+        crel: ColumnarRelation,
+        predicates: list[Node],
+        env: Optional["Environment"],
+    ) -> ColumnarRelation:
+        """Apply pushed conjuncts over one shared selection-index vector.
+
+        Instead of gathering every column after each predicate, later
+        predicates evaluate against a lazily-gathered *view* of the surviving
+        rows — only the columns a predicate actually references are gathered
+        — and the full relation is gathered exactly once after the last
+        predicate.  ``PlanStats.filter_gathers_saved`` counts the per-column
+        gathers the gather-per-predicate strategy would have performed on top
+        of this one.
+        """
+        if len(predicates) <= 1:
+            for pred in predicates:
+                crel = self._filter(crel, pred, env)
+            return crel
+
+        ncols = len(crel.cols)
+        sel: Optional[list[int]] = None
+        view: ColumnarRelation = crel  # rebuilt only when the selection changes
+        baseline_gathers = 0  # column gathers of the per-predicate strategy
+        actual_gathers = 0
+
+        def view_gathers() -> int:
+            return len(view.cols.cache) if view is not crel else 0
+
+        for pred in predicates:
+            mask = self._eval(pred, view, env)
+            if mask[0] is _SCALAR:
+                if mask[1]:
+                    continue
+                self.ex.stats.filter_gathers_saved += max(
+                    0, baseline_gathers - actual_gathers - view_gathers()
+                )
+                return ColumnarRelation(crel.columns, [[] for _ in crel.cols], 0)
+            keep = [i for i, v in enumerate(mask[1]) if v]
+            if len(keep) == view.nrows:
+                continue  # nothing dropped: selection vector and view unchanged
+            baseline_gathers += ncols
+            actual_gathers += view_gathers()
+            sel = keep if sel is None else [sel[i] for i in keep]
+            view = _SelectionView(crel, sel)
+
+        if sel is None:
+            return crel
+        actual_gathers += view_gathers() + ncols
+        self.ex.stats.filter_gathers_saved += max(0, baseline_gathers - actual_gathers)
+        return crel.gather(sel)
 
     def _hash_join(
         self,

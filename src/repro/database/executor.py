@@ -131,12 +131,22 @@ class Executor:
             executor — kept as the baseline for the columnar benchmarks.
         allow_reorder: permit cost-based join reordering for queries whose
             ORDER BY re-fixes the output row order.
+        order_insensitive: declare that this executor's *top-level* callers
+            never observe output row order, extending join reordering past
+            the ORDER-BY gate (LIMIT queries stay gated — truncation would
+            turn an order change into a row-set change).  Statements executed
+            inside an expression context (scalar subqueries, whose first row
+            *is* observable) always keep FROM order.  The pipeline opts in
+            for the MCTS reward loop's executor only.
         cache_size: LRU bound on the result cache.
         plan_cache: compiled-plan cache; defaults to the process-wide
             :data:`~repro.database.plancache.SHARED_PLAN_CACHE` so executors
             over the same catalogue share one compiled plan set.  Pass a
             private :class:`~repro.database.plancache.PlanCache` to isolate
             an executor (e.g. when benchmarking plan compilation itself).
+        stats: counter sink; pass an existing :class:`PlanStats` to aggregate
+            several executors' activity (the pipeline shares one between its
+            reward and mapping executors).
     """
 
     def __init__(
@@ -146,18 +156,26 @@ class Executor:
         use_planner: bool = True,
         columnar: bool = True,
         allow_reorder: bool = True,
+        order_insensitive: bool = False,
         cache_size: int = 1024,
         plan_cache: Optional[PlanCache] = None,
+        stats: Optional[PlanStats] = None,
     ) -> None:
         self.catalog = catalog
         self.enable_cache = enable_cache
         self.use_planner = use_planner
         self.columnar = columnar
         self.allow_reorder = allow_reorder
+        self.order_insensitive = order_insensitive
         self.cache_size = max(1, cache_size)
         self._cache: "OrderedDict[str, ResultTable]" = OrderedDict()
-        self.stats = PlanStats()
-        self.planner = Planner(catalog, self.stats, allow_reorder=allow_reorder)
+        self.stats = stats if stats is not None else PlanStats()
+        self.planner = Planner(
+            catalog,
+            self.stats,
+            allow_reorder=allow_reorder,
+            order_insensitive=order_insensitive,
+        )
         self.plan_cache = plan_cache if plan_cache is not None else SHARED_PLAN_CACHE
         from .columnar import ColumnarEngine  # deferred: columnar imports planner
 
@@ -169,16 +187,32 @@ class Executor:
         """Parse and execute a SQL string."""
         return self.execute(parse(sql))
 
-    def execute(self, node: Node, env: Optional[Environment] = None) -> ResultTable:
-        """Execute a SELECT statement AST and return its result table."""
+    def execute(
+        self, node: Node, env: Optional[Environment] = None, _nested: bool = False
+    ) -> ResultTable:
+        """Execute a SELECT statement AST and return its result table.
+
+        ``_nested`` is set internally when a statement executes as part of an
+        enclosing one (FROM subqueries, subquery expressions).  Nested
+        statements always plan with FROM order fixed: their row order can
+        become observable upward — a scalar subquery's value is its first
+        row, and an outer LIMIT turns a FROM subquery's row order into a
+        row-*set* difference — so only the outermost statement may opt into
+        order-insensitive reordering.
+        """
         if node.label == L.SUBQUERY:
             node = node.children[0]
         if node.label != L.SELECT_STMT:
             raise ExecutionError(f"cannot execute node {node.label!r}")
 
+        # the effective planning mode is part of the cached-result identity:
+        # relaxed plans may return a different row order than strict ones
+        fix_order = _nested or env is not None
+        order_insensitive = self.order_insensitive and not fix_order
+
         cache_key = None
         if self.enable_cache and env is None:
-            cache_key = node.fingerprint()
+            cache_key = (node.fingerprint(), order_insensitive)
             cached = self._cache.get(cache_key)
             if cached is not None:
                 self._cache.move_to_end(cache_key)
@@ -186,7 +220,7 @@ class Executor:
                 return cached.copy()
             self.stats.result_cache_misses += 1
 
-        result = self._execute_select(node, env)
+        result = self._execute_select(node, env, order_insensitive)
         if cache_key is not None:
             self._cache[cache_key] = result
             while len(self._cache) > self.cache_size:
@@ -205,14 +239,17 @@ class Executor:
         node = parse(sql)
         if node.label == L.SUBQUERY:
             node = node.children[0]
-        return self._plan_for(node).explain()
+        # explain shows the top-level plan, which honours the opt-in
+        return self._plan_for(node, order_insensitive=self.order_insensitive).explain()
 
     # -- select pipeline ------------------------------------------------------
 
-    def _execute_select(self, stmt: Node, env: Optional[Environment]) -> ResultTable:
+    def _execute_select(
+        self, stmt: Node, env: Optional[Environment], order_insensitive: bool = False
+    ) -> ResultTable:
         if not self.use_planner:
             return self._execute_select_interpreted(stmt, env)
-        plan = self._plan_for(stmt)
+        plan = self._plan_for(stmt, order_insensitive=order_insensitive)
 
         result: Optional[ResultTable] = None
         if self.columnar and plan.columnar_ok:
@@ -244,13 +281,13 @@ class Executor:
             result = self._limit(result, plan.limit, env)
         return result
 
-    def _plan_for(self, stmt: Node) -> Plan:
-        key = (stmt.fingerprint(), self.allow_reorder)
+    def _plan_for(self, stmt: Node, order_insensitive: bool = False) -> Plan:
+        key = (stmt.fingerprint(), self.allow_reorder, order_insensitive)
         plan = self.plan_cache.get(self.catalog, key)
         if plan is not None:
             self.stats.plan_cache_hits += 1
             return plan
-        plan = self.planner.plan(stmt)
+        plan = self.planner.plan(stmt, order_insensitive=order_insensitive)
         self.plan_cache.put(self.catalog, key, plan)
         return plan
 
@@ -278,7 +315,7 @@ class Executor:
             return relation
 
         if isinstance(op, SubqueryScanOp):
-            sub_result = self.execute(op.stmt, env)
+            sub_result = self.execute(op.stmt, env, _nested=True)
             columns = [
                 RelColumn(
                     name=c.name,
@@ -454,7 +491,7 @@ class Executor:
             return Relation(columns=columns, rows=list(table.rows))
 
         if source.label == L.SUBQUERY:
-            sub_result = self.execute(source.children[0], env)
+            sub_result = self.execute(source.children[0], env, _nested=True)
             qualifier = alias
             columns = [
                 RelColumn(
@@ -845,7 +882,7 @@ class Executor:
             return value in options
         if label == L.IN_QUERY:
             value = self._eval_expr(node.children[0], env, group_rows, relation)
-            sub = self.execute(node.children[1], env)
+            sub = self.execute(node.children[1], env, _nested=True)
             if not sub.columns:
                 return False
             return value in set(row[0] for row in sub.rows)
@@ -856,7 +893,7 @@ class Executor:
         if label == L.FUNC:
             return self._eval_func(node, env, group_rows, relation)
         if label == L.SUBQUERY:
-            sub = self.execute(node, env)
+            sub = self.execute(node, env, _nested=True)
             if not sub.rows:
                 return None
             if len(sub.rows) > 1 or len(sub.columns) > 1:

@@ -79,6 +79,9 @@ class PlanStats:
     cross_joins_executed: int = 0
     columnar_executions: int = 0
     columnar_fallbacks: int = 0
+    #: column gathers avoided by chaining multi-conjunct filters over one
+    #: shared selection-index vector instead of re-gathering per predicate
+    filter_gathers_saved: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
 
@@ -302,6 +305,12 @@ class Planner:
         allow_reorder: permit the cost-based join-ordering pass.  Reordering
             changes intermediate row order, so even when enabled it is only
             applied to queries whose ``ORDER BY`` re-fixes the output order.
+        order_insensitive: the caller declares that it never observes output
+            row order (multiset semantics), extending join reordering to
+            queries without the ORDER-BY gate.  Even then queries with a
+            ``LIMIT`` keep FROM order — truncation turns a row-order change
+            into a row-*set* change.  Off by default; the pipeline opts in
+            for the MCTS reward loop only.
     """
 
     def __init__(
@@ -309,16 +318,21 @@ class Planner:
         catalog: Catalog,
         stats: Optional[PlanStats] = None,
         allow_reorder: bool = True,
+        order_insensitive: bool = False,
     ) -> None:
         self.catalog = catalog
         self.stats = stats or PlanStats()
         self.allow_reorder = allow_reorder
+        self.order_insensitive = order_insensitive
 
     # -- public API --------------------------------------------------------
 
-    def plan(self, stmt: Node) -> Plan:
+    def plan(self, stmt: Node, order_insensitive: Optional[bool] = None) -> Plan:
         if stmt.label != L.SELECT_STMT:
             raise PlanningError(f"cannot plan node {stmt.label!r}")
+        order_insensitive = (
+            self.order_insensitive if order_insensitive is None else order_insensitive
+        )
         clauses = {child.label: child for child in stmt.children}
         select = clauses.get(L.SELECT_CLAUSE)
         if select is None:
@@ -333,10 +347,12 @@ class Planner:
         if from_clause is None:
             source, residual = None, predicate
         else:
-            reorder_ok = (
-                self.allow_reorder
-                and orderby is not None
-                and self._orderby_fixes_output(select, orderby)
+            reorder_ok = self.allow_reorder and (
+                (
+                    orderby is not None
+                    and self._orderby_fixes_output(select, orderby)
+                )
+                or (order_insensitive and clauses.get(L.LIMIT_CLAUSE) is None)
             )
             source, residual = self._plan_from(
                 from_clause, predicate, referenced, reorder_ok

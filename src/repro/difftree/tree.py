@@ -38,6 +38,7 @@ class Difftree:
         self._result_schema_computed = False
         self._annotator: Optional[TypeAnnotator] = None
         self._fingerprint: Optional[str] = None
+        self._mapping_key: Optional[tuple] = None
 
     # -- basic structure -----------------------------------------------------
 
@@ -60,6 +61,25 @@ class Difftree:
         if self._fingerprint is None:
             self._fingerprint = self.root.fingerprint()
         return self._fingerprint
+
+    def mapping_key(self) -> tuple:
+        """Memoization identity for per-tree mapping fragments (cached).
+
+        Two trees share a key only when they agree on structure, choice-node
+        ids *and* input queries — exactly the inputs the mapping layer's
+        schema / candidate derivations depend on.  Including the ids means a
+        cache hit always hands back fragments whose node references and cover
+        sets are id-compatible with this tree (copies preserve ids, so
+        unchanged trees carried across search states hit), while a
+        structurally identical tree rebuilt with fresh ids misses.
+        """
+        if self._mapping_key is None:
+            self._mapping_key = (
+                self.fingerprint(),
+                tuple(n.node_id for n in self.choice_nodes()),
+                tuple(q.fingerprint() for q in self.queries),
+            )
+        return self._mapping_key
 
     def pseudo_sql(self) -> str:
         """Human readable rendering with choice nodes shown inline."""
@@ -138,3 +158,15 @@ class Difftree:
             self._result_schema = result_schema_for_queries(queries, executor)
             self._result_schema_computed = True
         return self._result_schema
+
+    @property
+    def schema_cached(self) -> bool:
+        """True when :meth:`result_schema` would return without executing."""
+        return self._result_schema_computed
+
+    def seed_result_schema(self, schema: Optional[ResultSchema]) -> None:
+        """Plant a memoized result schema (from an id-identical tree) so a
+        later :meth:`result_schema` call does not re-execute the queries."""
+        if not self._result_schema_computed:
+            self._result_schema = schema
+            self._result_schema_computed = True

@@ -174,6 +174,110 @@ def stream_schema(vis: VisMapping, stream: EventStream) -> SchemaExpr:
 # ---------------------------------------------------------------------------
 
 
+def interaction_targets(
+    tree: Difftree, catalog: Optional[Catalog] = None
+) -> list[tuple[Node, SchemaExpr, frozenset[int]]]:
+    """One tree's interaction-bindable dynamic nodes: (node, schema, cover).
+
+    This is the per-tree half of candidate generation — it depends only on
+    the tree and the catalogue, so the mapper memoizes it per tree key.
+    """
+    targets: list[tuple[Node, SchemaExpr, frozenset[int]]] = []
+    for node in tree.dynamic_nodes():
+        cover = _choice_cover(node)
+        if not cover:
+            continue
+        targets.append((node, tree.node_schema(node, catalog), cover))
+    return targets
+
+
+#: One pair fragment: interaction name → [(bound streams, node, cover, cost)]
+#: in the target tree's dynamic-node order.
+PairFragments = dict[str, list[tuple[list[EventStream], Node, frozenset[int], float]]]
+
+
+def pair_interaction_fragments(
+    source_tree: Difftree,
+    vis: VisMapping,
+    target_tree: Difftree,
+    targets: list[tuple[Node, SchemaExpr, frozenset[int]]],
+    executor: Optional[Executor] = None,
+    check_safety: bool = True,
+) -> PairFragments:
+    """Valid (and safe) interaction bindings of one source visualization onto
+    one target tree's dynamic nodes.
+
+    The fragment depends only on (source tree, its visualization mapping,
+    target tree) — not on where either tree sits in the interface — so the
+    mapper memoizes it per (source key, vis key, target key) and a one-tree
+    delta between search states recomputes only the pairs involving the
+    changed tree.  The safety check (which executes the source queries) runs
+    here, at fragment-build time, exactly once per pair.
+    """
+    fragments: PairFragments = {}
+    if vis.result_schema is None:
+        return fragments
+    for interaction in vis.vis_type.interactions:
+        streams = interaction_streams(vis, interaction)
+        if not streams:
+            continue
+        base_cost = INTERACTION_COSTS.get(interaction, 0.5)
+        entries = []
+        for node, schema, cover in targets:
+            binding = _bind_streams(vis, streams, schema, node)
+            if binding is None:
+                continue
+            if check_safety and executor is not None:
+                probe = InteractionCandidate(
+                    interaction=interaction,
+                    source_tree_index=0,
+                    vis=vis,
+                    stream_bindings=[(s, node, 0) for s in binding],
+                    cover=cover,
+                    cost=base_cost,
+                )
+                if not is_safe(probe, source_tree, target_tree, executor):
+                    continue
+            entries.append((binding, node, cover, base_cost))
+        if entries:
+            fragments[interaction] = entries
+    return fragments
+
+
+def assemble_interaction_candidates(
+    trees: Sequence[Difftree],
+    vis_mappings: Sequence[VisMapping],
+    fragments: list[list[PairFragments]],
+) -> dict[int, list[InteractionCandidate]]:
+    """Combine per-pair fragments into the per-choice-node candidate map.
+
+    ``fragments[s][t]`` holds the fragments of source ``s``'s visualization
+    bound onto tree ``t``.  Candidate order — source-major, then interaction,
+    then target tree/node — reproduces the order a monolithic enumeration
+    produces, which matters because downstream pruning breaks cost ties by
+    insertion order.
+    """
+    candidates: dict[int, list[InteractionCandidate]] = {}
+    for source_idx, vis in enumerate(vis_mappings):
+        if vis.result_schema is None:
+            continue
+        for interaction in vis.vis_type.interactions:
+            for target_idx in range(len(trees)):
+                pair = fragments[source_idx][target_idx]
+                for binding, node, cover, cost in pair.get(interaction, ()):
+                    candidate = InteractionCandidate(
+                        interaction=interaction,
+                        source_tree_index=source_idx,
+                        vis=vis,
+                        stream_bindings=[(s, node, target_idx) for s in binding],
+                        cover=cover,
+                        cost=cost,
+                    )
+                    for cid in cover:
+                        candidates.setdefault(cid, []).append(candidate)
+    return candidates
+
+
 def candidate_interactions(
     trees: Sequence[Difftree],
     vis_mappings: Sequence[VisMapping],
@@ -184,49 +288,21 @@ def candidate_interactions(
     """Interaction candidates per choice-node id, across all Difftrees.
 
     ``vis_mappings[i]`` is the visualization chosen for ``trees[i]``; the
-    interactions it supports may bind to dynamic nodes of *any* tree.
+    interactions it supports may bind to dynamic nodes of *any* tree.  This
+    convenience entry point derives every fragment fresh; the mapper uses the
+    decomposed functions above so fragments can be memoized per tree pair.
     """
-    candidates: dict[int, list[InteractionCandidate]] = {}
-
-    # enumerate target dynamic nodes once
-    targets: list[tuple[int, Node, SchemaExpr, frozenset[int]]] = []
-    for t_idx, tree in enumerate(trees):
-        for node in tree.dynamic_nodes():
-            cover = _choice_cover(node)
-            if not cover:
-                continue
-            schema = tree.node_schema(node, catalog)
-            targets.append((t_idx, node, schema, cover))
-
-    for source_idx, (tree, vis) in enumerate(zip(trees, vis_mappings)):
-        if vis.result_schema is None:
-            continue
-        for interaction in vis.vis_type.interactions:
-            streams = interaction_streams(vis, interaction)
-            if not streams:
-                continue
-            base_cost = INTERACTION_COSTS.get(interaction, 0.5)
-            for target_idx, node, schema, cover in targets:
-                binding = _bind_streams(vis, streams, schema, node)
-                if binding is None:
-                    continue
-                candidate = InteractionCandidate(
-                    interaction=interaction,
-                    source_tree_index=source_idx,
-                    vis=vis,
-                    stream_bindings=[(s, node, target_idx) for s in binding],
-                    cover=cover,
-                    cost=base_cost,
-                )
-                if check_safety and executor is not None:
-                    candidate.safe = is_safe(
-                        candidate, trees[source_idx], trees[target_idx], executor
-                    )
-                    if not candidate.safe:
-                        continue
-                for cid in cover:
-                    candidates.setdefault(cid, []).append(candidate)
-    return candidates
+    targets = [interaction_targets(tree, catalog) for tree in trees]
+    fragments = [
+        [
+            pair_interaction_fragments(
+                tree, vis, trees[t], targets[t], executor, check_safety
+            )
+            for t in range(len(trees))
+        ]
+        for tree, vis in zip(trees, vis_mappings)
+    ]
+    return assemble_interaction_candidates(trees, vis_mappings, fragments)
 
 
 def _bind_streams(

@@ -39,12 +39,15 @@ from ..interface.spec import (
 )
 from .interactions import (
     InteractionCandidate,
-    candidate_interactions,
+    assemble_interaction_candidates,
     conflicting,
+    interaction_targets,
+    pair_interaction_fragments,
 )
 from .layout import LayoutLeaf, LayoutTree, build_layout_tree, optimize_layout
-from .visualization import VisMapping, candidate_visualizations
-from .widgets import WidgetCandidate, candidate_widgets
+from .memo import SHARED_MAPPING_MEMO, MappingMemo
+from .visualization import VIS_TYPES, VisMapping, candidate_visualizations
+from .widgets import WIDGET_TYPES, WidgetCandidate, candidate_widgets
 
 if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.cost
     from ..cost.model import CostModel
@@ -63,6 +66,12 @@ class MapperConfig:
     max_searchm_calls: int = 4000
     check_safety: bool = True
     optimize_layout: bool = True
+    #: reuse per-tree mapping fragments (schemas, candidate sets) across
+    #: calls through the process-wide :data:`~repro.mapping.memo.SHARED_MAPPING_MEMO`
+    #: — the MCTS reward loop's states differ by one tree, so fragments of
+    #: unchanged trees hit.  Disable to force full re-derivation (the
+    #: equivalence tests and the reward-memo benchmark baseline do).
+    memoize: bool = True
 
 
 @dataclass
@@ -74,6 +83,26 @@ class MapperStats:
     pruned: int = 0
     widget_cover_states: int = 0
     interfaces_evaluated: int = 0
+    # fragment derivations actually performed (memo misses + memo-disabled
+    # runs); the reward-memo benchmark compares these across modes
+    schema_derivations: int = 0
+    vis_derivations: int = 0
+    widget_derivations: int = 0
+    target_derivations: int = 0
+    interaction_derivations: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @property
+    def candidate_derivations(self) -> int:
+        """Total mapping-fragment derivations performed by this mapper."""
+        return (
+            self.schema_derivations
+            + self.vis_derivations
+            + self.widget_derivations
+            + self.target_derivations
+            + self.interaction_derivations
+        )
 
 
 class InterfaceMapper:
@@ -85,12 +114,35 @@ class InterfaceMapper:
         executor: Optional[Executor],
         cost_model: CostModel,
         config: Optional[MapperConfig] = None,
+        memo: Optional[MappingMemo] = None,
+        stats: Optional[MapperStats] = None,
     ) -> None:
         self.catalog = catalog
         self.executor = executor
         self.cost_model = cost_model
         self.config = config or MapperConfig()
-        self.stats = MapperStats()
+        self.stats = stats if stats is not None else MapperStats()
+        # the memo is partitioned by catalogue object, so a mapper without a
+        # catalogue has nothing to key fragments under and runs unmemoized
+        if memo is None and self.config.memoize:
+            memo = SHARED_MAPPING_MEMO
+        self.memo = memo if (self.config.memoize and catalog is not None) else None
+
+    # ------------------------------------------------------------------ memo
+
+    def _memo_lookup(self, key: tuple) -> tuple[bool, object]:
+        if self.memo is None:
+            return False, None
+        hit, value = self.memo.lookup(self.catalog, key)
+        if hit:
+            self.stats.memo_hits += 1
+        else:
+            self.stats.memo_misses += 1
+        return hit, value
+
+    def _memo_store(self, key: tuple, value: object) -> None:
+        if self.memo is not None:
+            self.memo.put(self.catalog, key, value)
 
     # ------------------------------------------------------------------ public
 
@@ -167,16 +219,97 @@ class InterfaceMapper:
         return interfaces
 
     # ------------------------------------------------------------- candidates
+    #
+    # All per-tree derivations run through the fragment memo when enabled: the
+    # MCTS reward loop evaluates states that differ from their predecessor by
+    # exactly one tree, so every unchanged tree's schema / candidate fragments
+    # hit.  The memo-disabled path runs the identical code with every lookup
+    # missing, so both modes derive candidates in the same order and produce
+    # byte-identical interfaces.
+
+    def _tree_schema(self, tree: Difftree):
+        if self.executor is None:
+            return None
+        key = ("schema", tree.mapping_key())
+        hit, value = self._memo_lookup(key)
+        if hit:
+            # plant into the instance so direct result_schema() calls reuse it
+            tree.seed_result_schema(value)
+            return value
+        if not tree.schema_cached:
+            self.stats.schema_derivations += 1
+        value = tree.result_schema(self.executor)
+        self._memo_store(key, value)
+        return value
+
+    def _tree_vis_options(self, tree: Difftree) -> list[VisMapping]:
+        # the library length acts as an epoch: register_visualization()
+        # invalidates fragments derived against the smaller library
+        key = ("vis", tree.mapping_key(), self.config.max_vis_per_tree, len(VIS_TYPES))
+        hit, value = self._memo_lookup(key)
+        if hit:
+            return value
+        schema = self._tree_schema(tree)
+        candidates = candidate_visualizations(schema, self.catalog)
+        value = candidates[: self.config.max_vis_per_tree]
+        self.stats.vis_derivations += 1
+        self._memo_store(key, value)
+        return value
 
     def _vis_options(self, trees: Sequence[Difftree]) -> list[list[VisMapping]]:
-        options: list[list[VisMapping]] = []
-        for tree in trees:
-            schema = (
-                tree.result_schema(self.executor) if self.executor is not None else None
-            )
-            candidates = candidate_visualizations(schema, self.catalog)
-            options.append(candidates[: self.config.max_vis_per_tree])
-        return options
+        return [self._tree_vis_options(tree) for tree in trees]
+
+    def _tree_widget_candidates(
+        self, tree: Difftree
+    ) -> tuple[list[int], list[WidgetCandidate]]:
+        """One tree's choice-node ids and widget candidates (memoized)."""
+        key = ("widgets", tree.mapping_key(), len(WIDGET_TYPES))
+        hit, value = self._memo_lookup(key)
+        if hit:
+            return value
+        bindings = tree.query_bindings()
+        candidates: list[WidgetCandidate] = []
+        for node in tree.dynamic_nodes():
+            candidates.extend(candidate_widgets(tree, node, self.catalog, bindings))
+        value = ([n.node_id for n in tree.choice_nodes()], candidates)
+        self.stats.widget_derivations += 1
+        self._memo_store(key, value)
+        return value
+
+    def _tree_targets(self, tree: Difftree):
+        key = ("targets", tree.mapping_key())
+        hit, value = self._memo_lookup(key)
+        if hit:
+            return value
+        value = interaction_targets(tree, self.catalog)
+        self.stats.target_derivations += 1
+        self._memo_store(key, value)
+        return value
+
+    def _pair_fragments(
+        self,
+        source_tree: Difftree,
+        vis: VisMapping,
+        target_tree: Difftree,
+        targets,
+        check_safety: bool,
+    ):
+        key = (
+            "ipair",
+            source_tree.mapping_key(),
+            _vis_key(vis),
+            target_tree.mapping_key(),
+            check_safety,
+        )
+        hit, value = self._memo_lookup(key)
+        if hit:
+            return value
+        value = pair_interaction_fragments(
+            source_tree, vis, target_tree, targets, self.executor, check_safety
+        )
+        self.stats.interaction_derivations += 1
+        self._memo_store(key, value)
+        return value
 
     def _joint_vis(
         self, vis_options: list[list[VisMapping]]
@@ -193,26 +326,29 @@ class InterfaceMapper:
         wcand: dict[int, list[tuple[int, WidgetCandidate]]] = {}
         clist: list[int] = []
         for t_idx, tree in enumerate(trees):
-            bindings = tree.query_bindings()
-            choice_ids = [n.node_id for n in tree.choice_nodes()]
+            choice_ids, candidates = self._tree_widget_candidates(tree)
             clist.extend(choice_ids)
-            for node in tree.dynamic_nodes():
-                for cand in candidate_widgets(tree, node, self.catalog, bindings):
-                    for cid in cand.cover:
-                        wcand.setdefault(cid, []).append((t_idx, cand))
+            for cand in candidates:
+                for cid in cand.cover:
+                    wcand.setdefault(cid, []).append((t_idx, cand))
         universe = frozenset(clist)
         return wcand, universe, clist
 
     def _interaction_candidates(
         self, trees: Sequence[Difftree], vis_combo: Sequence[VisMapping]
     ) -> dict[int, list[InteractionCandidate]]:
-        icand = candidate_interactions(
-            trees,
-            list(vis_combo),
-            catalog=self.catalog,
-            executor=self.executor,
-            check_safety=self.config.check_safety and self.executor is not None,
-        )
+        check_safety = self.config.check_safety and self.executor is not None
+        targets = [self._tree_targets(tree) for tree in trees]
+        fragments = [
+            [
+                self._pair_fragments(tree, vis, trees[t], targets[t], check_safety)
+                if vis.result_schema is not None
+                else {}
+                for t in range(len(trees))
+            ]
+            for tree, vis in zip(trees, vis_combo)
+        ]
+        icand = assemble_interaction_candidates(trees, list(vis_combo), fragments)
         limit = self.config.max_interaction_candidates_per_node
         pruned: dict[int, list[InteractionCandidate]] = {}
         for cid, cands in icand.items():
@@ -432,6 +568,15 @@ class InterfaceMapper:
 
             optimized, _ = optimize_layout(layout, layout_cost)
             interface.layout = optimized
+
+
+def _vis_key(vis: VisMapping) -> tuple:
+    """Memo identity of a visualization mapping: chart type + assignment.
+
+    Self-contained (no object identity) so fragments derived for the same
+    logical mapping hit across `VisMapping` instances.
+    """
+    return (vis.vis_type.name, tuple(sorted(vis.assignment.items())))
 
 
 # ---------------------------------------------------------------------------

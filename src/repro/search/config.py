@@ -69,7 +69,18 @@ class SearchStats:
     early_stopped: bool = False
     per_worker_iterations: list[int] = field(default_factory=list)
     search_seconds: float = 0.0
+    #: reward-cache hits: states whose reward was reused instead of calling
+    #: ``reward_fn`` (rollout revisits plus seeds adopted from other workers)
+    reward_cache_hits: int = 0
+    #: rewards planted into a worker's cache by ``adopt()`` during
+    #: synchronization, so broadcast states are never re-evaluated
+    rewards_seeded: int = 0
     #: snapshot of the shared query-plan cache after the search (all workers
     #: execute their reward queries through one process-wide compiled plan
     #: set; populated when the coordinator is given the executor)
     plan_cache: Optional[dict] = None
+    #: snapshot of the shared mapping-fragment memo after the search (the
+    #: second cache level: per-tree schemas / candidate fragments shared by
+    #: every worker's reward mapper; populated when the coordinator is given
+    #: the memo)
+    mapping_memo: Optional[dict] = None

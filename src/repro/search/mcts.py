@@ -99,6 +99,9 @@ class MCTSWorker:
         self.rng = rng or config.rng()
         self.root = MCTSNode(initial)
         self.stats = SearchStats()
+        #: reward per *trees* fingerprint: a terminal state and its
+        #: non-terminal twin hold the same trees, so they share one entry,
+        #: and states broadcast by other workers are seeded here by adopt()
         self._reward_cache: dict[str, float] = {}
         # running min/max over finite cached rewards, maintained by _evaluate
         # so _select does not rescan the whole cache every iteration
@@ -138,7 +141,18 @@ class MCTSWorker:
         return self.best_state
 
     def adopt(self, state: SearchState, reward: float) -> None:
-        """Adopt a better state discovered by another worker (synchronization)."""
+        """Adopt a better state discovered by another worker (synchronization).
+
+        The broadcast reward is seeded into this worker's reward cache:
+        without the seed, expanding or rolling through the adopted state's
+        fingerprint later re-runs ``reward_fn`` even though the state already
+        carries its reward (the double-evaluation bug).
+        """
+        key = state.trees_fingerprint()
+        if key not in self._reward_cache:
+            self._reward_cache[key] = reward
+            self.stats.rewards_seeded += 1
+            self._note_reward_bounds(reward)
         if reward > self.best_reward:
             self.best_state = state
             self.best_reward = reward
@@ -241,17 +255,22 @@ class MCTSWorker:
     # -- reward bookkeeping ----------------------------------------------------------
 
     def _evaluate(self, state: SearchState) -> float:
-        key = state.fingerprint()
+        key = state.trees_fingerprint()
         if key not in self._reward_cache:
             reward = self.reward_fn(state)
             self._reward_cache[key] = reward
             self.stats.states_evaluated += 1
-            if reward != float("-inf"):
-                if self._reward_lo is None or reward < self._reward_lo:
-                    self._reward_lo = reward
-                if self._reward_hi is None or reward > self._reward_hi:
-                    self._reward_hi = reward
+            self._note_reward_bounds(reward)
+        else:
+            self.stats.reward_cache_hits += 1
         return self._reward_cache[key]
+
+    def _note_reward_bounds(self, reward: float) -> None:
+        if reward != float("-inf"):
+            if self._reward_lo is None or reward < self._reward_lo:
+                self._reward_lo = reward
+            if self._reward_hi is None or reward > self._reward_hi:
+                self._reward_hi = reward
 
     def _track_best(self, state: SearchState, reward: float) -> None:
         if reward > self.best_reward:

@@ -33,6 +33,7 @@ from .state import SearchState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..database.executor import Executor
+    from ..mapping.memo import MappingMemo
 
 
 class ParallelSearchResult:
@@ -61,11 +62,13 @@ class ParallelCoordinator:
         reward_fn: RewardFn,
         config: Optional[SearchConfig] = None,
         executor: Optional["Executor"] = None,
+        mapping_memo: Optional["MappingMemo"] = None,
     ) -> None:
         self.config = config or SearchConfig()
         self.engine = engine
         self.reward_fn = reward_fn
         self.executor = executor
+        self.mapping_memo = mapping_memo
         initial_state = SearchState(initial_trees)
         self.workers = [
             MCTSWorker(
@@ -125,8 +128,13 @@ class ParallelCoordinator:
             ),
             per_worker_iterations=[w.stats.iterations for w in self.workers],
             search_seconds=time.perf_counter() - start,
+            reward_cache_hits=sum(w.stats.reward_cache_hits for w in self.workers),
+            rewards_seeded=sum(w.stats.rewards_seeded for w in self.workers),
             plan_cache=(
                 self.executor.plan_cache.info() if self.executor is not None else None
+            ),
+            mapping_memo=(
+                self.mapping_memo.info() if self.mapping_memo is not None else None
             ),
         )
         return ParallelSearchResult(
@@ -143,8 +151,14 @@ def parallel_search(
     reward_fn: RewardFn,
     config: Optional[SearchConfig] = None,
     executor: Optional["Executor"] = None,
+    mapping_memo: Optional["MappingMemo"] = None,
 ) -> ParallelSearchResult:
     """Convenience wrapper around :class:`ParallelCoordinator`."""
     return ParallelCoordinator(
-        initial_trees, engine, reward_fn, config, executor=executor
+        initial_trees,
+        engine,
+        reward_fn,
+        config,
+        executor=executor,
+        mapping_memo=mapping_memo,
     ).run()

@@ -19,12 +19,27 @@ class SearchState:
         self.trees = list(trees)
         self.terminal = terminal
         self._fingerprint: Optional[str] = None
+        self._trees_fingerprint: Optional[str] = None
+
+    def trees_fingerprint(self) -> str:
+        """Identity of the tree list alone, ignoring the terminal marker.
+
+        A terminal state holds the same trees as its non-terminal twin, so
+        anything derived purely from the trees — reward estimates in
+        particular — is keyed by this fingerprint rather than
+        :meth:`fingerprint`.
+        """
+        if self._trees_fingerprint is None:
+            parts = sorted(t.fingerprint() for t in self.trees)
+            self._trees_fingerprint = "||".join(parts)
+        return self._trees_fingerprint
 
     def fingerprint(self) -> str:
         """Canonical identity of the state (order-insensitive over trees)."""
         if self._fingerprint is None:
-            parts = sorted(t.fingerprint() for t in self.trees)
-            self._fingerprint = ("T|" if self.terminal else "") + "||".join(parts)
+            self._fingerprint = (
+                "T|" if self.terminal else ""
+            ) + self.trees_fingerprint()
         return self._fingerprint
 
     def num_choice_nodes(self) -> int:

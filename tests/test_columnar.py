@@ -106,6 +106,28 @@ def test_columnar_runs_supported_queries():
     assert col.stats.columnar_fallbacks == 0
 
 
+def test_multi_conjunct_filter_chains_selection_vector():
+    """Chained pushed predicates gather columns once, not once per conjunct."""
+    row, col = make_pair()
+    sql = (
+        "SELECT id, hp, mpg, disp, origin FROM Cars "
+        "WHERE hp > 100 AND mpg > 12 AND disp > 150"
+    )
+    assert row.execute_sql(sql).rows == col.execute_sql(sql).rows
+    assert col.stats.columnar_executions >= 1
+    # the per-predicate strategy re-gathers all five columns after each
+    # dropping conjunct; the shared selection vector gathers once at the end
+    assert col.stats.filter_gathers_saved > 0
+    assert row.stats.filter_gathers_saved == 0  # row path is untouched
+
+
+def test_filter_chain_handles_all_rows_dropped():
+    row, col = make_pair()
+    sql = "SELECT hp, mpg FROM Cars WHERE hp > 40 AND mpg < -1 AND disp > 50"
+    assert row.execute_sql(sql).rows == col.execute_sql(sql).rows
+    assert col.execute_sql(sql).rows == []
+
+
 def test_columnar_result_matches_row_plan_on_join():
     row, col = make_pair()
     sql = (
