@@ -1,0 +1,166 @@
+"""Parallel-search backend benchmark: wall-clock speedup of true multiprocess
+MCTS over the serial round-robin coordinator (ISSUE 4's tentpole).
+
+The harness runs the scalability benchmark's workload (the Filter log scaled
+up) through the end-to-end pipeline once per backend, with early stopping
+disabled so both backends execute exactly the same per-worker iteration
+budget — the backends are trajectory-identical by construction, so the only
+difference is scheduling: the serial backend interleaves the workers on one
+core, the process backend runs each on its own OS process.
+
+Requirements enforced here (ISSUE 4 acceptance):
+
+* the process backend with 4 workers reaches ≥ 2× the serial backend's
+  search wall-clock at equal total iterations — asserted when the machine
+  has ≥ 4 usable cores (single-core containers cannot run four processes
+  concurrently no matter how the work is scheduled; there the benchmark
+  records the measured ratio and only bounds the scheduling overhead);
+* both backends report identical search trajectories (states evaluated,
+  best reward) — the speedup is pure scheduling, not approximation.
+
+The measured numbers are written to ``BENCH_parallel.json`` at the repo root
+(uploaded as a CI artifact) so the perf trajectory is tracked per run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import generate_interface
+from repro.database import standard_catalog
+from repro.mapping.mapper import MapperConfig
+from repro.search.config import SearchConfig
+from repro.workloads import WORKLOADS, scale_workload
+
+CATALOG_SCALE = 1.0
+WORKERS = 4
+MAX_ITERATIONS = 48
+SYNC_INTERVAL = 12
+QUERY_COUNT = 36  # the Filter log, duplicated (scalability benchmark shape)
+REQUIRED_SPEEDUP = 2.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _config(backend: str) -> PipelineConfig:
+    return PipelineConfig(
+        search=SearchConfig(
+            max_iterations=MAX_ITERATIONS,
+            early_stop=10**6,  # disabled: equal iteration budgets per backend
+            workers=WORKERS,
+            sync_interval=SYNC_INTERVAL,
+            rollout_depth=14,
+            reward_mappings=3,
+            max_applications=64,
+            seed=42,
+            backend=backend,
+            shared_rewards=True,
+        ),
+        mapper=MapperConfig(
+            top_k=3, max_vis_per_tree=3, max_joint_vis=6, max_searchm_calls=500
+        ),
+        catalog_scale=CATALOG_SCALE,
+        seed=42,
+    )
+
+
+def test_process_backend_speedup():
+    workload = scale_workload(WORKLOADS["filter"], QUERY_COUNT, seed=5)
+    queries = list(workload.queries)
+    runs = {}
+    # best of two rounds per backend: the runs are trajectory-identical (the
+    # backends are deterministic), so the minimum is pure scheduling noise
+    # reduction — shared CI runners jitter enough to matter
+    for backend in ("serial", "process"):
+        best = None
+        for _ in range(2):
+            catalog = standard_catalog(seed=42, scale=CATALOG_SCALE)
+            start = time.perf_counter()
+            result = generate_interface(
+                queries, catalog=catalog, config=_config(backend)
+            )
+            elapsed = time.perf_counter() - start
+            if best is None or result.search_seconds < best[0].search_seconds:
+                best = (result, elapsed)
+        runs[backend] = best
+
+    serial, serial_elapsed = runs["serial"]
+    process, process_elapsed = runs["process"]
+    speedup = serial.search_seconds / max(process.search_seconds, 1e-9)
+
+    cores = _usable_cores()
+
+    rows = [
+        [
+            backend,
+            f"{run.search_seconds:.2f}s",
+            f"{run.total_seconds:.2f}s",
+            run.search_stats.states_evaluated,
+            run.search_stats.reward_table_hits,
+            run.search_stats.sync_rounds,
+            f"{run.search_stats.warmup_seconds:.2f}s",
+        ]
+        for backend, (run, _) in runs.items()
+    ]
+    print_table(
+        f"Parallel search: serial vs process backend "
+        f"({WORKERS} workers x {MAX_ITERATIONS} iterations, {cores} cores)",
+        ["backend", "search", "total", "evals", "table hits", "syncs", "warmup"],
+        rows,
+    )
+    print(f"search speedup: {speedup:.2f}x (required {REQUIRED_SPEEDUP}x on >=4 cores)")
+
+    payload = {
+        "benchmark": "parallel_backends",
+        "workload": f"filter x{QUERY_COUNT}",
+        "workers": WORKERS,
+        "iterations_per_worker": MAX_ITERATIONS,
+        "usable_cores": cores,
+        "serial_search_seconds": serial.search_seconds,
+        "process_search_seconds": process.search_seconds,
+        "serial_total_seconds": serial_elapsed,
+        "process_total_seconds": process_elapsed,
+        "speedup": speedup,
+        "process_warmup_seconds": process.search_stats.warmup_seconds,
+        "states_evaluated": {
+            "serial": serial.search_stats.states_evaluated,
+            "process": process.search_stats.states_evaluated,
+        },
+        "reward_table_hits": {
+            "serial": serial.search_stats.reward_table_hits,
+            "process": process.search_stats.reward_table_hits,
+        },
+        "required_speedup": REQUIRED_SPEEDUP,
+        "speedup_enforced": cores >= WORKERS,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH.name}")
+
+    # the backends are trajectory-identical: equal work, equal best reward
+    assert serial.search_stats.states_evaluated == process.search_stats.states_evaluated
+    assert serial.best_reward == process.best_reward
+    assert serial.search_stats.iterations == process.search_stats.iterations
+
+    if cores >= WORKERS:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"process backend speedup {speedup:.2f}x below "
+            f"{REQUIRED_SPEEDUP}x on a {cores}-core machine"
+        )
+    else:
+        # single-core containers: the schedule cannot overlap, but the
+        # process backend must not collapse either (IPC + warm-up overhead
+        # stays within ~2x of the serial wall-clock)
+        assert speedup >= 0.4, f"process backend overhead blow-up: {speedup:.2f}x"

@@ -58,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--seed", type=int, default=42, help="random seed")
     gen.add_argument("--scale", type=float, default=0.3, help="synthetic catalogue scale")
+    gen.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="number of parallel MCTS workers (default: the config's p)",
+    )
+    gen.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="search-execution backend: 'serial' (round-robin, default), "
+        "'thread' (one thread per worker), or 'process' (one OS process per "
+        "worker — true wall-clock parallelism)",
+    )
     gen.add_argument("--html", help="write a static HTML preview to this path")
     gen.add_argument("--json", dest="json_out", help="write the interface spec as JSON")
     gen.add_argument(
@@ -97,6 +111,10 @@ def _command_generate(args) -> int:
         if args.config == "paper"
         else PipelineConfig.fast(seed=args.seed)
     )
+    if args.workers is not None:
+        config.search.workers = max(1, args.workers)
+    if args.backend is not None:
+        config.search.backend = args.backend
     catalog = standard_catalog(seed=args.seed, scale=args.scale)
 
     print(f"generating an interface from {len(queries)} queries …", file=sys.stderr)
@@ -108,6 +126,7 @@ def _command_generate(args) -> int:
         f"\ngenerated in {result.total_seconds:.1f}s "
         f"(search {result.search_seconds:.1f}s, mapping {result.mapping_seconds:.1f}s)"
     )
+    print(_search_summary(result.search_stats))
     if args.taxonomy:
         print("\nYi et al. taxonomy coverage:")
         print(classify_interface(interface).describe())
@@ -123,6 +142,22 @@ def _command_generate(args) -> int:
             fh.write(interface_to_json(interface, runtime))
         print(f"wrote JSON spec to {args.json_out}")
     return 0
+
+
+def _search_summary(stats) -> str:
+    """One-line search diagnostics (backend, sharing, per-worker progress)."""
+    per_worker = ",".join(str(n) for n in stats.per_worker_iterations)
+    line = (
+        f"search: backend={stats.backend} "
+        f"workers={len(stats.per_worker_iterations)} "
+        f"iterations={stats.iterations} (per-worker {per_worker}) "
+        f"sync-rounds={stats.sync_rounds} "
+        f"states-evaluated={stats.states_evaluated} "
+        f"reward-table-hits={stats.reward_table_hits}"
+    )
+    if stats.warmup_seconds:
+        line += f" warmup={stats.warmup_seconds:.2f}s"
+    return line
 
 
 def _command_list_workloads() -> int:

@@ -9,12 +9,21 @@
 3. runs Algorithm 1 (visualization / interaction / layout mapping) on the
    best Difftree state, and
 4. returns the lowest-cost interface together with search diagnostics.
+
+The MCTS step executes on a pluggable backend (serial round-robin, threads,
+or true worker processes — :mod:`repro.search.backends`).  The reward
+context each worker needs (executors, cost model, mappers) is built by
+:func:`build_reward_setup`, used both in this process and — via the
+picklable :class:`PipelineWorkerSpec` — inside each process-backend worker,
+so every backend runs the same reward code against the same catalogue.
 """
 
 from __future__ import annotations
 
+import pickle
 import random
 import time
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..cost.model import CostModel
@@ -30,7 +39,9 @@ from ..difftree.builder import (
 )
 from ..interface.spec import Interface
 from ..mapping.mapper import InterfaceMapper
-from ..mapping.memo import SHARED_MAPPING_MEMO
+from ..mapping.memo import SHARED_MAPPING_MEMO, MappingMemo
+from ..search.backends import resolve_backend_name
+from ..search.mcts import RewardFn
 from ..search.parallel import parallel_search
 from ..search.state import SearchState
 from ..sqlparser.ast_nodes import Node
@@ -58,6 +69,159 @@ def best_interface_cost(interfaces: Sequence) -> float:
     return min(costs)
 
 
+# ---------------------------------------------------------------------------
+# reward context — shared by the in-process pipeline and process workers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RewardSetup:
+    """Everything the reward loop needs, built once per process."""
+
+    catalog: Catalog
+    executor: Executor
+    reward_executor: Executor
+    cost_model: CostModel
+    mapper: InterfaceMapper
+    reward_mapper: InterfaceMapper
+    memo: Optional[MappingMemo]
+
+
+def build_reward_setup(
+    catalog: Catalog, asts: Sequence[Node], config: PipelineConfig
+) -> RewardSetup:
+    """Build executors, cost model and mappers for one process.
+
+    The executor compiles through the process-wide shared plan cache, so
+    every MCTS worker's reward queries — and any executor a caller builds
+    later over the same catalogue — reuse one compiled plan set.  The reward
+    loop never observes row order (schemas, safety checks and costs are all
+    multiset-level), so its executor opts into cost-based join reordering
+    without the ORDER-BY gate; the final Algorithm-1 mapping keeps the strict
+    executor.  Both share one PlanStats sink, and both mappers share the
+    process-wide mapping memo (two-level cache hierarchy, see PR 3).
+    """
+    executor = Executor(catalog, plan_cache=SHARED_PLAN_CACHE)
+    reward_executor = Executor(
+        catalog,
+        plan_cache=SHARED_PLAN_CACHE,
+        order_insensitive=True,
+        stats=executor.stats,
+    )
+    cost_model = CostModel(asts, config.cost)
+    memo = SHARED_MAPPING_MEMO if config.mapper.memoize else None
+    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper, memo=memo)
+    reward_mapper = InterfaceMapper(
+        catalog,
+        reward_executor,
+        cost_model,
+        config.mapper,
+        memo=memo,
+        stats=mapper.stats,
+    )
+    return RewardSetup(
+        catalog=catalog,
+        executor=executor,
+        reward_executor=reward_executor,
+        cost_model=cost_model,
+        mapper=mapper,
+        reward_mapper=reward_mapper,
+        memo=memo,
+    )
+
+
+def make_reward_fn(
+    setup: RewardSetup, config: PipelineConfig, worker_index: int
+) -> RewardFn:
+    """The per-worker reward estimator (K random mappings, reward = −min cost).
+
+    Each worker draws its random mappings from its own RNG stream: a stream
+    shared across workers would couple their trajectories to the round
+    scheduling order, and the backends guarantee byte-identical results
+    precisely because no such coupling exists.
+    """
+    reward_rng = random.Random(config.seed + 101 + worker_index * 9973)
+    reward_mapper = setup.reward_mapper
+    mappings = config.search.reward_mappings
+
+    def reward_fn(state: SearchState) -> float:
+        interfaces = reward_mapper.random_interfaces(
+            state.trees, mappings, reward_rng
+        )
+        if not interfaces:
+            return float("-inf")
+        best = best_interface_cost(interfaces)
+        if best == float("inf"):
+            # every candidate came back costless: worst possible reward
+            return float("-inf")
+        return -best
+
+    return reward_fn
+
+
+@dataclass
+class PipelineWorkerSpec:
+    """Picklable recipe for rebuilding the reward context in a worker process.
+
+    Implements the :class:`repro.search.backends.ProcessWorkerSpec` protocol:
+    each process-backend worker unpickles this, rebuilds catalogue, executors
+    and mappers via :func:`build_reward_setup` (warming its private plan
+    cache and mapping memo in the process), and evaluates rewards with the
+    exact code the serial backend runs in the parent.
+    """
+
+    catalog: Catalog
+    query_asts: list
+    config: PipelineConfig
+    #: built lazily inside the worker process; never pickled (the parent
+    #: pickles the spec before any build happens)
+    setup: Optional[RewardSetup] = field(default=None, repr=False, compare=False)
+
+    def build(self, worker_index: int, search_config) -> tuple:
+        self.setup = build_reward_setup(self.catalog, self.query_asts, self.config)
+        engine = TransformEngine(
+            self.catalog,
+            self.setup.executor,
+            max_applications=search_config.max_applications,
+        )
+        return engine, make_reward_fn(self.setup, self.config, worker_index)
+
+    def cache_info(self) -> tuple[Optional[dict], Optional[dict]]:
+        if self.setup is None:
+            return None, None
+        memo_info = self.setup.memo.info() if self.setup.memo is not None else None
+        return self.setup.executor.plan_cache.info(), memo_info
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["setup"] = None
+        return state
+
+
+def _process_spec_for(
+    catalog: Catalog, asts: Sequence[Node], config: PipelineConfig
+) -> Optional[PipelineWorkerSpec]:
+    """A worker spec when the process backend is in play, else ``None``.
+
+    Only built (and test-pickled) when the resolved backend is ``process`` —
+    a custom catalogue that cannot be pickled silently falls back to the
+    serial backend rather than failing the search.
+    """
+    if resolve_backend_name(config.search.backend, has_process_spec=True) != "process":
+        return None
+    spec = PipelineWorkerSpec(catalog=catalog, query_asts=list(asts), config=config)
+    try:
+        pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
 def generate_interface(
     queries: Sequence[QueryLike],
     catalog: Optional[Catalog] = None,
@@ -78,21 +242,9 @@ def generate_interface(
     """
     config = config or PipelineConfig()
     catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
-    # the executor compiles through the process-wide shared plan cache, so
-    # every MCTS worker's reward queries — and any executor a caller builds
-    # later over the same catalogue — reuse one compiled plan set
-    executor = Executor(catalog, plan_cache=SHARED_PLAN_CACHE)
-    # the reward loop never observes row order (schemas, safety checks and
-    # costs are all multiset-level), so its executor opts into cost-based
-    # join reordering without the ORDER-BY gate; the final Algorithm-1
-    # mapping keeps the strict executor.  Both share one PlanStats sink.
-    reward_executor = Executor(
-        catalog,
-        plan_cache=SHARED_PLAN_CACHE,
-        order_insensitive=True,
-        stats=executor.stats,
-    )
     asts = parse_queries(queries)
+    setup = build_reward_setup(catalog, asts, config)
+    executor = setup.executor
 
     total_start = time.perf_counter()
 
@@ -108,48 +260,32 @@ def generate_interface(
     )
     if config.initial_refactor:
         trees = engine.refactor_to_fixpoint(trees)
-    cost_model = CostModel(asts, config.cost)
-    # two-level cache hierarchy: both mappers share the process-wide mapping
-    # memo (level 2) on top of the shared plan cache (level 1), so fragments
-    # derived during the reward loop are reused by the final Algorithm-1
-    # mapping — and vice versa across pipeline runs on the same catalogue
-    memo = SHARED_MAPPING_MEMO if config.mapper.memoize else None
-    mapper = InterfaceMapper(catalog, executor, cost_model, config.mapper, memo=memo)
-    reward_mapper = InterfaceMapper(
-        catalog,
-        reward_executor,
-        cost_model,
-        config.mapper,
-        memo=memo,
-        stats=mapper.stats,
-    )
 
-    reward_rng = random.Random(config.seed + 101)
-
-    def reward_fn(state: SearchState) -> float:
-        interfaces = reward_mapper.random_interfaces(
-            state.trees, config.search.reward_mappings, reward_rng
+    # every worker gets a private engine (its rule-application cache must not
+    # couple workers across rounds) and a private reward-RNG stream; the
+    # process backend rebuilds the same pair inside each worker process
+    def engine_factory(worker_index: int) -> TransformEngine:
+        return TransformEngine(
+            catalog, executor, max_applications=config.search.max_applications
         )
-        if not interfaces:
-            return float("-inf")
-        best = best_interface_cost(interfaces)
-        if best == float("inf"):
-            # every candidate came back costless: worst possible reward
-            return float("-inf")
-        return -best
+
+    def reward_factory(worker_index: int) -> RewardFn:
+        return make_reward_fn(setup, config, worker_index)
 
     search_start = time.perf_counter()
     result = parallel_search(
         trees,
-        engine,
-        reward_fn,
-        config.search,
+        config=config.search,
         executor=executor,
-        mapping_memo=memo,
+        mapping_memo=setup.memo,
+        engine_factory=engine_factory,
+        reward_factory=reward_factory,
+        process_spec=_process_spec_for(catalog, asts, config),
     )
     search_seconds = time.perf_counter() - search_start
 
     # step 3: exhaustive interface mapping on the best state (Algorithm 1)
+    mapper = setup.mapper
     mapping_start = time.perf_counter()
     candidates = mapper.generate(result.best_state.trees)
     mapping_seconds = time.perf_counter() - mapping_start

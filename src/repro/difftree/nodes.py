@@ -17,8 +17,10 @@ add a stable ``node_id`` used to key query bindings and interaction mappings.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
-from typing import Optional, Sequence
+import threading
+from typing import Iterator, Optional, Sequence
 
 from ..sqlparser.ast_nodes import L, Node, empty
 from .types import PiType
@@ -27,8 +29,51 @@ from .types import PiType
 _NODE_COUNTER = itertools.count(1)
 
 
+class _IdSpace(threading.local):
+    """Thread-local override of the id counter (see :func:`node_id_space`)."""
+
+    counter: Optional[Iterator[int]] = None
+
+
+_ID_SPACE = _IdSpace()
+
+#: Stride between per-worker id spaces.  Worker ``w`` of a parallel search
+#: allocates ids from ``(w + 1) * NODE_ID_SPAN`` so that the ids it mints are
+#: identical no matter which backend (serial round-robin, threads, or worker
+#: processes) runs it, and never collide with another worker's or with the
+#: main space (ids below ``NODE_ID_SPAN``).
+NODE_ID_SPAN = 1 << 40
+
+
+def worker_id_counter(worker_index: int) -> Iterator[int]:
+    """The private id counter for parallel-search worker ``worker_index``."""
+    return itertools.count((worker_index + 1) * NODE_ID_SPAN)
+
+
+@contextlib.contextmanager
+def node_id_space(counter: Optional[Iterator[int]]):
+    """Allocate choice-node ids from ``counter`` inside the ``with`` block.
+
+    Thread-local, so concurrent search workers can each pin their own id
+    space.  ``None`` leaves the ambient allocator (usually the global
+    counter) in place.
+    """
+    if counter is None:
+        yield
+        return
+    previous = _ID_SPACE.counter
+    _ID_SPACE.counter = counter
+    try:
+        yield
+    finally:
+        _ID_SPACE.counter = previous
+
+
 def next_node_id() -> int:
     """Allocate a fresh choice-node identifier."""
+    counter = _ID_SPACE.counter
+    if counter is not None:
+        return next(counter)
     return next(_NODE_COUNTER)
 
 

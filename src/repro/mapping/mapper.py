@@ -152,10 +152,14 @@ class InterfaceMapper:
         vis_options = self._vis_options(trees)
         wcand_by_node, universe, clist = self._widget_candidates(trees)
 
-        # dynamic programming tables shared across V combinations
+        # dynamic programming tables shared across V combinations — and, via
+        # the fragment memo, across generate() calls on identical tree sets:
+        # the F/G tables are keyed by the exact (clist, wcand) identity, so
+        # the final Algorithm-1 phase is incremental too
         dp = _WidgetCoverDP(
             wcand_by_node, clist, self.cost_model, self.config.top_k, self.stats
         )
+        self._memoize_widget_cover(dp, wcand_by_node, clist)
 
         heap: list[tuple[float, int, Interface]] = []  # max-heap via negated cost
         counter = itertools.count()
@@ -310,6 +314,49 @@ class InterfaceMapper:
         self.stats.interaction_derivations += 1
         self._memo_store(key, value)
         return value
+
+    def _memoize_widget_cover(
+        self,
+        dp: "_WidgetCoverDP",
+        wcand: dict[int, list[tuple[int, WidgetCandidate]]],
+        clist: list[int],
+    ) -> None:
+        """Share the widget-cover F/G tables across ``generate()`` calls.
+
+        Keyed by the *identity* of (clist, wcand): the candidate objects come
+        out of the fragment memo, so two calls over id-identical trees hand
+        the DP the very same :class:`WidgetCandidate` instances — and cover
+        costs depend only on those candidates and the cost model.  On a hit
+        the DP adopts the cached tables (still mutable: later calls keep
+        extending them in place, so the memo entry grows incrementally); the
+        cached value pins the candidate lists and the cost model alive, which
+        keeps the ``id()``-based key components stable for the entry's
+        lifetime.
+
+        The adopted tables are mutable and extended without a lock: like the
+        mapper's stats counters, ``generate()`` is a single-caller API (the
+        pipeline's final phase), and the key embeds the cost model's
+        identity, so two concurrently-built pipelines can never adopt the
+        same entry.
+        """
+        if self.memo is None:
+            return
+        key = (
+            "wcover",
+            tuple(clist),
+            tuple(
+                (cid, tuple((t_idx, id(cand)) for t_idx, cand in cands))
+                for cid, cands in sorted(wcand.items())
+            ),
+            id(self.cost_model),
+            self.config.top_k,
+        )
+        hit, value = self._memo_lookup(key)
+        if hit:
+            _pinned_wcand, _pinned_cost_model, f_tables, g_tables = value
+            dp.adopt_tables(f_tables, g_tables)
+        else:
+            self._memo_store(key, (wcand, self.cost_model, dp._f, dp._g))
 
     def _joint_vis(
         self, vis_options: list[list[VisMapping]]
@@ -607,6 +654,15 @@ class _WidgetCoverDP:
         self.stats = stats
         self._g: dict[frozenset[int], float] = {}
         self._f: dict[frozenset[int], list[tuple[float, list[tuple[int, WidgetCandidate]]]]] = {}
+
+    def adopt_tables(
+        self,
+        f_tables: dict[frozenset[int], list],
+        g_tables: dict[frozenset[int], float],
+    ) -> None:
+        """Continue from memoized F/G tables (see ``_memoize_widget_cover``)."""
+        self._f = f_tables
+        self._g = g_tables
 
     def _first(self, nodes: frozenset[int]) -> int:
         return min(nodes, key=lambda cid: self.order.get(cid, 1 << 30))

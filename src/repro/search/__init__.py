@@ -1,5 +1,13 @@
 """Monte Carlo Tree Search over Difftree states (paper Section 6.2)."""
 
+from .backends import (
+    ProcessBackend,
+    RewardTable,
+    SearchBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from .config import SearchConfig, SearchStats
 from .mcts import MCTSNode, MCTSWorker, RewardFn, search_difftrees
 from .parallel import ParallelCoordinator, ParallelSearchResult, parallel_search
@@ -10,10 +18,16 @@ __all__ = [
     "MCTSWorker",
     "ParallelCoordinator",
     "ParallelSearchResult",
+    "ProcessBackend",
     "RewardFn",
+    "RewardTable",
+    "SearchBackend",
     "SearchConfig",
     "SearchState",
     "SearchStats",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
     "parallel_search",
     "search_difftrees",
 ]

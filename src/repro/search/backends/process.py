@@ -1,0 +1,314 @@
+"""True multiprocess MCTS: one OS process per worker.
+
+Each worker process unpickles a :class:`~repro.search.backends.base.ProcessWorkerSpec`,
+rebuilds catalogue + executor + transformation engine + reward function
+inside its own interpreter, warms its private plan cache / mapping memo by
+evaluating the initial state, and then exchanges compact sync messages with
+the coordinator every ``sync_interval`` iterations.
+
+Wire protocol (pickled tuples over a :func:`multiprocessing.Pipe` pair):
+
+========================  ===================================================
+coordinator → worker      meaning
+========================  ===================================================
+``("round", n, adopt,     run ``n`` iterations; ``adopt`` is ``(state bytes,
+  reward, delta)``        reward)`` of the global best or ``None``; ``delta``
+                          is the reward-table entries merged last round
+``("finish",)``           send final state + stats and exit
+========================  ===================================================
+
+========================  ===================================================
+worker → coordinator      meaning
+========================  ===================================================
+``("ready", warmup_s)``   context rebuilt, initial state evaluated
+``("sync", fp, reward,    end-of-round report: best fingerprint + reward,
+  state?, pending,        serialized trees only when the best changed since
+  stale)``                the last report, this round's reward delta, and
+                          the worker's staleness counter
+``("done", state, reward, final best state (serialized), reward, and the
+  stats)``                worker's :class:`SearchStats`
+``("error", repr)``       an exception escaped the worker loop
+========================  ===================================================
+
+The protocol is deterministic for a fixed seed / worker count: reward deltas
+merge in worker order at barriers, each worker draws node ids from its own id
+space and rewards from its own RNG stream, so the trajectories are the same
+ones the serial backend produces for the same configuration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from typing import Optional
+
+from ...difftree.nodes import worker_id_counter
+from ..config import SearchConfig, SearchStats
+from ..mcts import MCTSWorker
+from ..state import SearchState
+from .base import (
+    ParallelSearchResult,
+    RewardTable,
+    SearchJob,
+    WorkerSync,
+    aggregate_stats,
+    dump_state,
+    early_stop_after_adopt,
+    load_state,
+    merge_sync_round,
+    round_sizes,
+)
+
+
+def _mp_context():
+    """The multiprocessing start method: fork where available (fast, no
+    re-import), spawn otherwise; ``REPRO_MP_START`` overrides."""
+    method = os.environ.get("REPRO_MP_START")
+    if method:
+        return multiprocessing.get_context(method)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
+    """Entry point of one worker process."""
+    try:
+        payload = pickle.loads(payload_bytes)
+        spec = payload["spec"]
+        config: SearchConfig = payload["config"]
+        shared_rewards: bool = payload["shared_rewards"]
+
+        warmup_start = time.perf_counter()
+        engine, reward_fn = spec.build(worker_index, config)
+        initial = load_state(payload["initial_state"])
+        table = RewardTable() if shared_rewards else None
+        worker = MCTSWorker(
+            initial,
+            engine,
+            reward_fn,
+            config,
+            rng=config.rng(offset=worker_index + 1),
+            reward_table=table,
+            id_space=worker_id_counter(worker_index),
+        )
+        warmup_seconds = time.perf_counter() - warmup_start
+        conn.send(("ready", warmup_seconds))
+
+        last_sent_fp: Optional[str] = None
+        while True:
+            message = conn.recv()
+            if message[0] == "round":
+                _, round_size, adopt_bytes, adopt_reward, delta = message
+                if table is not None and delta:
+                    # entries the coordinator merged last round (including
+                    # other workers' deltas) land in this replica before the
+                    # round starts, mirroring the in-process backends
+                    table.seed(delta)
+                if adopt_bytes is not None:
+                    worker.adopt(load_state(adopt_bytes), adopt_reward)
+                for _ in range(round_size):
+                    worker.run_iteration()
+                best_fp = worker.best_state.fingerprint()
+                state_bytes = None
+                if best_fp != last_sent_fp:
+                    state_bytes = dump_state(worker.best_state)
+                    last_sent_fp = best_fp
+                conn.send(
+                    (
+                        "sync",
+                        best_fp,
+                        worker.best_reward,
+                        state_bytes,
+                        worker.take_pending_rewards(),
+                        worker.iterations_since_improvement,
+                    )
+                )
+            elif message[0] == "finish":
+                stats = worker.stats
+                stats.backend = "process"
+                stats.warmup_seconds = warmup_seconds
+                plan_info, memo_info = spec.cache_info()
+                stats.plan_cache = plan_info
+                stats.mapping_memo = memo_info
+                if table is not None:
+                    stats.reward_table = table.info()
+                conn.send(
+                    ("done", dump_state(worker.best_state), worker.best_reward, stats)
+                )
+                break
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown command {message[0]!r}")
+    except Exception as exc:  # pragma: no cover - crash reporting path
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessBackend:
+    """One OS process per MCTS worker, coordinated over pipes."""
+
+    name = "process"
+
+    def run(self, job: SearchJob) -> ParallelSearchResult:
+        if job.process_spec is None:
+            raise ValueError(
+                "the process backend needs a picklable worker spec "
+                "(SearchJob.process_spec); see repro.search.backends"
+            )
+        config = job.config
+        start = time.perf_counter()
+        workers = max(1, config.workers)
+        ctx = _mp_context()
+
+        # one payload for all workers (the spec — catalogue included — is
+        # pickled exactly once; only the worker index differs per process)
+        payload = pickle.dumps(
+            {
+                "spec": job.process_spec,
+                "config": config,
+                "shared_rewards": config.shared_rewards,
+                "initial_state": dump_state(SearchState(job.initial_trees)),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        connections = []
+        processes = []
+        try:
+            for w in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main, args=(child_conn, payload, w), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                connections.append(parent_conn)
+                processes.append(process)
+
+            warmups = [self._expect(conn, "ready")[1] for conn in connections]
+            # wall-clock until every worker finished rebuilding + evaluating
+            # the initial state (they warm concurrently); per-worker costs
+            # are surfaced through the individual worker stats
+            warmup_wall = time.perf_counter() - start
+
+            # the coordinator keeps the authoritative reward table; worker
+            # replicas are refreshed with the merged delta of each round
+            table: Optional[RewardTable] = (
+                RewardTable() if config.shared_rewards else None
+            )
+            states: dict[str, bytes] = {}  # best states seen, by fingerprint
+
+            total_iterations = 0
+            sync_rounds = 0
+            early_stopped = False
+            adopt: Optional[tuple[bytes, float]] = None
+            pending_delta: dict[str, float] = {}
+            for round_size in round_sizes(config):
+                for conn in connections:
+                    conn.send(
+                        (
+                            "round",
+                            round_size,
+                            adopt[0] if adopt is not None else None,
+                            adopt[1] if adopt is not None else 0.0,
+                            pending_delta,
+                        )
+                    )
+                syncs: list[WorkerSync] = []
+                for conn in connections:
+                    _, fp, reward, state_bytes, pending, stale = self._expect(
+                        conn, "sync"
+                    )
+                    if state_bytes is not None:
+                        states[fp] = state_bytes
+                    syncs.append(
+                        WorkerSync(
+                            best_reward=reward,
+                            best_fingerprint=fp,
+                            pending_rewards=pending,
+                            iterations_since_improvement=stale,
+                        )
+                    )
+                total_iterations += round_size * workers
+                sync_rounds += 1
+                best_index, merged = merge_sync_round(syncs, table)
+                best_sync = syncs[best_index]
+                adopt = (states[best_sync.best_fingerprint], best_sync.best_reward)
+                pending_delta = merged
+                # retain only states that can still be adopted: best rewards
+                # are monotone per worker, so a fingerprint no worker
+                # currently reports as its best can never be reported again
+                current = {sync.best_fingerprint for sync in syncs}
+                states = {fp: b for fp, b in states.items() if fp in current}
+                if early_stop_after_adopt(
+                    syncs, best_sync.best_reward, config.early_stop
+                ):
+                    early_stopped = True
+                    break
+
+            for conn in connections:
+                conn.send(("finish",))
+            finals = [self._expect(conn, "done") for conn in connections]
+        finally:
+            for conn in connections:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for process in processes:
+                process.join(timeout=30)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=5)
+
+        worker_stats: list[SearchStats] = [f[3] for f in finals]
+        for stats, warmup in zip(worker_stats, warmups):
+            stats.warmup_seconds = warmup
+        best = max(range(workers), key=lambda w: finals[w][2])
+        best_state = load_state(finals[best][1])
+        best_reward = finals[best][2]
+
+        stats = aggregate_stats(
+            self.name,
+            worker_stats,
+            worker_stats[best],
+            best_reward,
+            total_iterations,
+            sync_rounds,
+            early_stopped or any(w.early_stopped for w in worker_stats),
+            time.perf_counter() - start,
+            job,
+            # caches live in the worker processes; surface the best worker's
+            # snapshots as the aggregate view (per-worker stats carry the rest)
+            plan_cache_info=worker_stats[best].plan_cache,
+            mapping_memo_info=worker_stats[best].mapping_memo,
+            warmup_seconds=warmup_wall,
+        )
+        if table is not None:
+            # the lookups all happened against the worker replicas — fold
+            # their counters over the coordinator table's entry count so the
+            # snapshot means the same thing it does on serial / thread
+            stats.reward_table = {
+                "rewards": table.size(),
+                "hits": sum(
+                    (w.reward_table or {}).get("hits", 0) for w in worker_stats
+                ),
+                "misses": sum(
+                    (w.reward_table or {}).get("misses", 0) for w in worker_stats
+                ),
+            }
+        return ParallelSearchResult(best_state, best_reward, stats, worker_stats)
+
+    @staticmethod
+    def _expect(conn, kind: str):
+        reply = conn.recv()
+        if reply[0] == "error":
+            raise RuntimeError(f"search worker process failed: {reply[1]}")
+        if reply[0] != kind:  # pragma: no cover - defensive
+            raise RuntimeError(f"expected {kind!r} reply, got {reply[0]!r}")
+        return reply

@@ -1,0 +1,127 @@
+"""The serial backend: deterministic round-robin in the coordinator's thread.
+
+:class:`_LocalBackend` holds the coordinator loop shared with the thread
+backend (:mod:`repro.search.backends.thread`): both keep their
+:class:`~repro.search.mcts.MCTSWorker` instances in this process and differ
+only in how a round's iterations are scheduled.  Because workers share no
+mutable search state (private engines and reward-RNG streams via the job's
+factories, private reward caches, reward-table merges only at barriers), the
+two schedules produce byte-identical results — which ``tests/test_backends.py``
+pins across all workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..config import SearchConfig
+from ..mcts import MCTSWorker
+from .base import (
+    ParallelSearchResult,
+    RewardTable,
+    SearchJob,
+    WorkerSync,
+    aggregate_stats,
+    early_stop_after_adopt,
+    merge_sync_round,
+    round_sizes,
+)
+
+
+class _LocalBackend:
+    """Common coordinator loop for the serial and thread backends."""
+
+    name = "local"
+
+    def __init__(self) -> None:
+        #: exposed for post-run inspection (tests reach into the workers)
+        self.workers: list[MCTSWorker] = []
+        #: True when every worker owns its engine (set per run)
+        self._private_engines = False
+
+    # overridden by ThreadBackend
+    def _run_round(self, workers: list[MCTSWorker], round_size: int) -> None:
+        for worker in workers:
+            for _ in range(round_size):
+                worker.run_iteration()
+
+    def run(self, job: SearchJob) -> ParallelSearchResult:
+        config = job.config
+        start = time.perf_counter()
+        table: Optional[RewardTable] = (
+            RewardTable() if config.shared_rewards else None
+        )
+        warmup_start = time.perf_counter()
+        self.workers = [
+            job.make_worker(w, table) for w in range(max(1, config.workers))
+        ]
+        # concurrent round scheduling (the thread backend) is only sound when
+        # every worker owns its engine: the engine's rule-application cache
+        # samples with the populating worker's RNG, so sharing one across
+        # concurrently-running workers is racy and nondeterministic
+        engine_ids = {id(w.engine) for w in self.workers}
+        self._private_engines = len(engine_ids) == len(self.workers)
+        # the workers' initial-state evaluations all hit cold per-worker
+        # caches; merge them immediately so round 1 already shares them
+        if table is not None:
+            for worker in self.workers:
+                table.merge(worker.take_pending_rewards())
+        warmup_seconds = time.perf_counter() - warmup_start
+
+        total_iterations = 0
+        sync_rounds = 0
+        early_stopped = False
+        for round_size in round_sizes(config):
+            self._run_round(self.workers, round_size)
+            total_iterations += round_size * len(self.workers)
+
+            # synchronization: merge reward deltas, broadcast the best state
+            syncs = [
+                WorkerSync(
+                    best_reward=w.best_reward,
+                    best_fingerprint=w.best_state.fingerprint(),
+                    pending_rewards=w.take_pending_rewards(),
+                    iterations_since_improvement=w.iterations_since_improvement,
+                    best_state=w.best_state,
+                )
+                for w in self.workers
+            ]
+            best_index, _ = merge_sync_round(syncs, table)
+            best_sync = syncs[best_index]
+            sync_rounds += 1
+            stop = early_stop_after_adopt(
+                syncs, best_sync.best_reward, config.early_stop
+            )
+            for worker in self.workers:
+                worker.adopt(best_sync.best_state, best_sync.best_reward)
+            if stop:
+                early_stopped = True
+                break
+
+        best_worker = max(self.workers, key=lambda w: w.best_reward)
+        stats = aggregate_stats(
+            self.name,
+            [w.stats for w in self.workers],
+            best_worker.stats,
+            best_worker.best_reward,
+            total_iterations,
+            sync_rounds,
+            early_stopped or any(w.stats.early_stopped for w in self.workers),
+            time.perf_counter() - start,
+            job,
+            reward_table=table,
+            warmup_seconds=warmup_seconds,
+        )
+        return ParallelSearchResult(
+            best_worker.best_state,
+            best_worker.best_reward,
+            stats,
+            [w.stats for w in self.workers],
+        )
+
+
+class SerialBackend(_LocalBackend):
+    """Round-robin execution in the coordinator's thread (deterministic)."""
+
+    name = "serial"

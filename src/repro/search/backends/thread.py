@@ -1,0 +1,60 @@
+"""The thread backend: one OS thread per MCTS worker.
+
+Runs each worker's round on its own thread and joins them at the
+synchronization barrier.  The GIL means pure-Python reward evaluation gains
+little wall-clock, but the backend exercises the full concurrent code path —
+shared plan cache, shared mapping memo, reward-table locking — and its
+results are byte-identical to the serial backend's because workers share no
+mutable search state during a round (see :mod:`repro.search.backends.serial`).
+
+That guarantee needs per-worker engines: a job built from the legacy single
+shared :class:`~repro.transform.engine.TransformEngine` (no
+``engine_factory``) would let concurrent workers race on the engine's
+rule-application cache, whose entries are sampled with the populating
+worker's RNG.  Such jobs keep the thread pool idle and run their rounds
+round-robin instead — same results, no races.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..mcts import MCTSWorker
+from .base import ParallelSearchResult, SearchJob
+from .serial import _LocalBackend
+
+
+class ThreadBackend(_LocalBackend):
+    """One OS thread per worker, joined at every synchronization barrier."""
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def run(self, job: SearchJob) -> ParallelSearchResult:
+        # one pool for the whole search, not one per synchronization round
+        with ThreadPoolExecutor(
+            max_workers=max(1, job.config.workers)
+        ) as pool:
+            self._pool = pool
+            try:
+                return super().run(job)
+            finally:
+                self._pool = None
+
+    def _run_round(self, workers: list[MCTSWorker], round_size: int) -> None:
+        if self._pool is None or not self._private_engines:
+            # legacy shared-engine job: concurrent rounds would race on the
+            # engine's caches — fall back to the serial schedule
+            super()._run_round(workers, round_size)
+            return
+
+        def run_worker(worker: MCTSWorker) -> None:
+            for _ in range(round_size):
+                worker.run_iteration()
+
+        # list() propagates the first worker exception, if any
+        list(self._pool.map(run_worker, workers))

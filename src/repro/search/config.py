@@ -32,6 +32,17 @@ class SearchConfig:
             at each playout step.
         max_applications: cap on enumerated rule applications per state.
         seed: seed for all randomness (reproducibility).
+        backend: search-execution backend — ``"serial"`` (deterministic
+            round-robin in one thread), ``"thread"`` (one OS thread per
+            worker), or ``"process"`` (one OS process per worker; requires a
+            picklable worker spec, see :mod:`repro.search.backends`).  The
+            ``REPRO_SEARCH_BACKEND`` environment variable overrides this.
+        shared_rewards: share every worker's newly evaluated rewards through
+            the cross-worker reward table at each synchronization round, so
+            overlapping states are evaluated once globally instead of once
+            per worker.  Sharing legitimately changes search trajectories
+            (each worker draws from its own reward-RNG stream), but is
+            deterministic for a fixed seed / worker count on every backend.
     """
 
     max_iterations: int = 120
@@ -45,6 +56,8 @@ class SearchConfig:
     terminate_probability: float = 0.08
     max_applications: int = 48
     seed: int = 42
+    backend: str = "serial"
+    shared_rewards: bool = True
 
     def rng(self, offset: int = 0) -> random.Random:
         """A deterministic RNG derived from the seed (per worker offset)."""
@@ -84,3 +97,21 @@ class SearchStats:
     #: every worker's reward mapper; populated when the coordinator is given
     #: the memo)
     mapping_memo: Optional[dict] = None
+    #: the backend that actually ran the search ("serial", "thread",
+    #: "process"); may differ from the requested backend when the process
+    #: backend had no picklable worker spec and fell back to serial
+    backend: str = "serial"
+    #: evaluations answered by the cross-worker shared reward table instead
+    #: of calling ``reward_fn`` (states another worker already evaluated)
+    reward_table_hits: int = 0
+    #: synchronization rounds the coordinator ran (best-state broadcast +
+    #: reward-delta merge every ``sync_interval`` iterations)
+    sync_rounds: int = 0
+    #: worker warm-up cost: seconds from backend start until every worker
+    #: had evaluated the initial state.  On the process backend each worker
+    #: additionally rebuilds catalogue + executor and fills cold per-process
+    #: caches; serial / thread workers evaluate through the parent's shared
+    #: (usually already warm) caches, so their warm-up is much smaller
+    warmup_seconds: float = 0.0
+    #: snapshot of the shared reward table after the search
+    reward_table: Optional[dict] = None

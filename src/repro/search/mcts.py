@@ -17,12 +17,16 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
+from ..difftree.nodes import node_id_space
 from ..difftree.tree import Difftree
 from ..transform.engine import TransformEngine
 from .config import SearchConfig, SearchStats
 from .state import SearchState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backends.base import RewardTable
 
 #: Signature of the reward estimator: higher is better (the pipeline supplies
 #: the negative of the minimum interface cost over K random mappings).
@@ -92,11 +96,25 @@ class MCTSWorker:
         reward_fn: RewardFn,
         config: SearchConfig,
         rng: Optional[random.Random] = None,
+        reward_table: Optional["RewardTable"] = None,
+        id_space: Optional[Iterator[int]] = None,
     ) -> None:
         self.engine = engine
         self.reward_fn = reward_fn
         self.config = config
         self.rng = rng or config.rng()
+        #: cross-worker shared reward table (fingerprint → reward), consulted
+        #: before any reward evaluation; ``None`` disables sharing.  The
+        #: table only changes at synchronization barriers, so reads during a
+        #: round are deterministic on every backend.
+        self.reward_table = reward_table
+        #: rewards this worker evaluated since the last synchronization —
+        #: the coordinator drains these into the shared table at each sync
+        self._pending_rewards: dict[str, float] = {}
+        #: private id counter for choice nodes minted by rule applications,
+        #: so a worker allocates identical ids whether it runs round-robin,
+        #: on a thread, or in its own process (``None`` = ambient allocator)
+        self._id_space = id_space
         self.root = MCTSNode(initial)
         self.stats = SearchStats()
         #: reward per *trees* fingerprint: a terminal state and its
@@ -109,7 +127,8 @@ class MCTSWorker:
         self._reward_hi: Optional[float] = None
         self.iterations_since_improvement = 0
         self.best_state = initial
-        self.best_reward = self._evaluate(initial)
+        with node_id_space(self._id_space):
+            self.best_reward = self._evaluate(initial)
         self.stats.best_reward = self.best_reward
 
     # -- public API --------------------------------------------------------
@@ -118,9 +137,10 @@ class MCTSWorker:
         """Execute one select → expand → simulate → backpropagate cycle."""
         start = time.perf_counter()
         best_before = self.best_reward
-        leaf = self._select(self.root)
-        child = self._expand(leaf)
-        reward = self._simulate(child)
+        with node_id_space(self._id_space):
+            leaf = self._select(self.root)
+            child = self._expand(leaf)
+            reward = self._simulate(child)
         self._backpropagate(child, reward)
         self.stats.iterations += 1
         # early-stop bookkeeping is per *iteration*, not per evaluated state
@@ -129,6 +149,12 @@ class MCTSWorker:
         else:
             self.iterations_since_improvement += 1
         self.stats.search_seconds += time.perf_counter() - start
+
+    def take_pending_rewards(self) -> dict[str, float]:
+        """Drain the rewards evaluated since the last synchronization."""
+        pending = self._pending_rewards
+        self._pending_rewards = {}
+        return pending
 
     def run(self, iterations: Optional[int] = None) -> SearchState:
         """Run until the iteration budget or early stop is reached."""
@@ -256,14 +282,25 @@ class MCTSWorker:
 
     def _evaluate(self, state: SearchState) -> float:
         key = state.trees_fingerprint()
-        if key not in self._reward_cache:
-            reward = self.reward_fn(state)
-            self._reward_cache[key] = reward
-            self.stats.states_evaluated += 1
-            self._note_reward_bounds(reward)
-        else:
+        if key in self._reward_cache:
             self.stats.reward_cache_hits += 1
-        return self._reward_cache[key]
+            return self._reward_cache[key]
+        if self.reward_table is not None:
+            hit, shared = self.reward_table.get(key)
+            if hit:
+                # another worker already paid for this state: reuse its
+                # reward and leave this worker's reward-RNG stream untouched
+                self.stats.reward_table_hits += 1
+                self._reward_cache[key] = shared
+                self._note_reward_bounds(shared)
+                return shared
+        reward = self.reward_fn(state)
+        self._reward_cache[key] = reward
+        if self.reward_table is not None:
+            self._pending_rewards[key] = reward
+        self.stats.states_evaluated += 1
+        self._note_reward_bounds(reward)
+        return reward
 
     def _note_reward_bounds(self, reward: float) -> None:
         if reward != float("-inf"):

@@ -6,152 +6,100 @@ coordinator gathers each worker's best state, broadcasts the overall best
 back, and terminates early when every worker reports that its local optimum
 has not changed in ``es`` iterations.
 
-This module reproduces that coordination *deterministically*: workers are
-independent :class:`MCTSWorker` instances with distinct seeds whose iteration
-rounds are interleaved round-robin by the coordinator.  (True multi-process
-execution would change wall-clock numbers but not the search behaviour the
-paper's experiments study — see DESIGN.md, substitutions.)
+*How* the workers execute is delegated to a pluggable backend
+(:mod:`repro.search.backends`): deterministic round-robin in this thread
+(``"serial"``, the default), one OS thread per worker (``"thread"``), or one
+OS process per worker (``"process"`` — true wall-clock parallelism, requires
+a picklable worker spec).  All backends run the same synchronization
+protocol, including the cross-worker shared reward table that stops ``p``
+workers from re-evaluating the overlapping states they all visit.
 
-Every worker's reward evaluation executes SQL through the process-wide
-compiled-plan cache (:data:`repro.database.plancache.SHARED_PLAN_CACHE`), so
-the thousands of reward queries a search run issues share one compiled plan
-set no matter how many executors or workers are involved; pass the pipeline's
+Every worker's reward evaluation executes SQL through a compiled-plan cache
+(:data:`repro.database.plancache.SHARED_PLAN_CACHE` for in-process backends;
+a per-process clone for process workers), so the thousands of reward queries
+a search run issues share compiled plan sets; pass the pipeline's
 ``executor`` to the coordinator to surface the cache's hit statistics in
 :class:`SearchStats`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..difftree.tree import Difftree
 from ..transform.engine import TransformEngine
-from .config import SearchConfig, SearchStats
-from .mcts import MCTSWorker, RewardFn
-from .state import SearchState
+from .backends import (
+    ParallelSearchResult,
+    ProcessWorkerSpec,
+    SearchJob,
+    get_backend,
+    resolve_backend_name,
+)
+from .config import SearchConfig
+from .mcts import RewardFn
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..database.executor import Executor
     from ..mapping.memo import MappingMemo
 
-
-class ParallelSearchResult:
-    """Outcome of a (parallel) search: best state, reward, and diagnostics."""
-
-    def __init__(
-        self,
-        best_state: SearchState,
-        best_reward: float,
-        stats: SearchStats,
-        worker_stats: list[SearchStats],
-    ) -> None:
-        self.best_state = best_state
-        self.best_reward = best_reward
-        self.stats = stats
-        self.worker_stats = worker_stats
+__all__ = ["ParallelCoordinator", "ParallelSearchResult", "parallel_search"]
 
 
 class ParallelCoordinator:
-    """Round-robin coordinator over ``p`` MCTS workers with periodic syncs."""
+    """Coordinates ``p`` MCTS workers through a search-execution backend."""
 
     def __init__(
         self,
         initial_trees: Sequence[Difftree],
-        engine: TransformEngine,
-        reward_fn: RewardFn,
+        engine: Optional[TransformEngine] = None,
+        reward_fn: Optional[RewardFn] = None,
         config: Optional[SearchConfig] = None,
         executor: Optional["Executor"] = None,
         mapping_memo: Optional["MappingMemo"] = None,
+        engine_factory: Optional[Callable[[int], TransformEngine]] = None,
+        reward_factory: Optional[Callable[[int], RewardFn]] = None,
+        process_spec: Optional[ProcessWorkerSpec] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config or SearchConfig()
-        self.engine = engine
-        self.reward_fn = reward_fn
-        self.executor = executor
-        self.mapping_memo = mapping_memo
-        initial_state = SearchState(initial_trees)
-        self.workers = [
-            MCTSWorker(
-                initial_state,
-                engine,
-                reward_fn,
-                self.config,
-                rng=self.config.rng(offset=w + 1),
-            )
-            for w in range(max(1, self.config.workers))
-        ]
+        self.job = SearchJob(
+            initial_trees=list(initial_trees),
+            config=self.config,
+            engine=engine,
+            reward_fn=reward_fn,
+            engine_factory=engine_factory,
+            reward_factory=reward_factory,
+            executor=executor,
+            mapping_memo=mapping_memo,
+            process_spec=process_spec,
+        )
+        self.backend_name = resolve_backend_name(
+            backend or self.config.backend, has_process_spec=process_spec is not None
+        )
+        self.backend = get_backend(self.backend_name)
+        #: the in-process worker instances, populated by serial / thread
+        #: backends after :meth:`run` (process workers live in their own
+        #: interpreters and only report serialized stats)
+        self.workers = []
 
     def run(self) -> ParallelSearchResult:
         """Run the synchronized parallel search until termination."""
-        config = self.config
-        start = time.perf_counter()
-        total_iterations = 0
-        # honour the iteration budget exactly: full sync rounds plus a final
-        # partial round for the `max_iterations % sync_interval` remainder
-        sync = max(1, config.sync_interval)
-        full_rounds, remainder = divmod(max(0, config.max_iterations), sync)
-        round_sizes = [sync] * full_rounds
-        if remainder:
-            round_sizes.append(remainder)
-
-        for round_size in round_sizes:
-            # each worker runs `round_size` iterations of its own search
-            for worker in self.workers:
-                for _ in range(round_size):
-                    worker.run_iteration()
-                    total_iterations += 1
-
-            # synchronization: broadcast the best state across workers
-            best_worker = max(self.workers, key=lambda w: w.best_reward)
-            best_state, best_reward = best_worker.best_state, best_worker.best_reward
-            for worker in self.workers:
-                worker.adopt(best_state, best_reward)
-
-            # early stop: every worker's local optimum is stale
-            if all(
-                w.iterations_since_improvement >= config.early_stop
-                for w in self.workers
-            ):
-                break
-
-        best_worker = max(self.workers, key=lambda w: w.best_reward)
-        stats = SearchStats(
-            iterations=total_iterations,
-            states_evaluated=sum(w.stats.states_evaluated for w in self.workers),
-            rule_applications=sum(w.stats.rule_applications for w in self.workers),
-            best_reward=best_worker.best_reward,
-            best_iteration=best_worker.stats.best_iteration,
-            early_stopped=any(w.stats.early_stopped for w in self.workers)
-            or all(
-                w.iterations_since_improvement >= config.early_stop
-                for w in self.workers
-            ),
-            per_worker_iterations=[w.stats.iterations for w in self.workers],
-            search_seconds=time.perf_counter() - start,
-            reward_cache_hits=sum(w.stats.reward_cache_hits for w in self.workers),
-            rewards_seeded=sum(w.stats.rewards_seeded for w in self.workers),
-            plan_cache=(
-                self.executor.plan_cache.info() if self.executor is not None else None
-            ),
-            mapping_memo=(
-                self.mapping_memo.info() if self.mapping_memo is not None else None
-            ),
-        )
-        return ParallelSearchResult(
-            best_worker.best_state,
-            best_worker.best_reward,
-            stats,
-            [w.stats for w in self.workers],
-        )
+        result = self.backend.run(self.job)
+        self.workers = getattr(self.backend, "workers", [])
+        return result
 
 
 def parallel_search(
     initial_trees: Sequence[Difftree],
-    engine: TransformEngine,
-    reward_fn: RewardFn,
+    engine: Optional[TransformEngine] = None,
+    reward_fn: Optional[RewardFn] = None,
     config: Optional[SearchConfig] = None,
     executor: Optional["Executor"] = None,
     mapping_memo: Optional["MappingMemo"] = None,
+    engine_factory: Optional[Callable[[int], TransformEngine]] = None,
+    reward_factory: Optional[Callable[[int], RewardFn]] = None,
+    process_spec: Optional[ProcessWorkerSpec] = None,
+    backend: Optional[str] = None,
 ) -> ParallelSearchResult:
     """Convenience wrapper around :class:`ParallelCoordinator`."""
     return ParallelCoordinator(
@@ -161,4 +109,8 @@ def parallel_search(
         config,
         executor=executor,
         mapping_memo=mapping_memo,
+        engine_factory=engine_factory,
+        reward_factory=reward_factory,
+        process_spec=process_spec,
+        backend=backend,
     ).run()
