@@ -1,0 +1,145 @@
+"""Outer-join / nested-loop join scaling — vectorized vs row-based plans.
+
+PR 2's columnar benchmark covered the filter / aggregate / inner-hash-join
+shapes; this one covers the joins that used to fall back to the row engine:
+LEFT / RIGHT hash joins (typed-NULL padding after the residual filter) and
+non-equi ON conditions (block-wise vectorized nested loop).  The workload
+runs both engines at catalogue scale 4 and checks that
+
+* every query returns identical results (rows and order) on both engines,
+* the columnar engine reports **zero** runtime fallbacks — these operators
+  are covered, not tolerated — and
+* vectorized execution is at least 3× faster than the row-based planned
+  executor over the whole outer-join/nested-loop workload.
+
+Plans are warmed through a shared cache before timing, so the numbers compare
+pure execution.  The measured numbers are written to
+``BENCH_columnar_joins.json`` at the repo root (uploaded as a CI artifact) so
+the perf trajectory is tracked per run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.database import Executor, PlanCache
+from repro.database.datasets import standard_catalog
+
+SCALE = 4.0
+REQUIRED_SPEEDUP = 3.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar_joins.json"
+
+#: the join shapes that previously dropped to the per-row interpreter path
+WORKLOAD = {
+    "outer-hash": [
+        # LEFT with a residual ON conjunct: pad after the residual filter
+        "SELECT gal.objID, gal.u, s.ra FROM galaxy as gal "
+        "LEFT JOIN specObj as s ON s.bestObjID = gal.objID AND s.ra > 213.8",
+        "SELECT gal.objID, s.ra, s.dec FROM galaxy as gal "
+        "RIGHT JOIN specObj as s ON s.bestObjID = gal.objID",
+        "SELECT t.p, c.hp FROM T as t "
+        "LEFT JOIN Cars as c ON t.p = c.id AND c.hp > 150",
+    ],
+    "nested-loop": [
+        # non-equi conditions: block-wise cross product + vector compare
+        "SELECT t.p, c.id FROM T as t JOIN Cars as c ON t.p > c.id",
+        "SELECT t.a, c.mpg FROM T as t LEFT JOIN Cars as c ON t.a > c.mpg",
+        "SELECT t.b, c.hp FROM T as t RIGHT JOIN Cars as c ON t.b >= c.mpg",
+    ],
+}
+
+
+def _executors(catalog):
+    """Row-planned and columnar executors sharing one warm plan cache."""
+    plans = PlanCache()
+    row = Executor(catalog, enable_cache=False, columnar=False, plan_cache=plans)
+    col = Executor(catalog, enable_cache=False, columnar=True, plan_cache=plans)
+    return row, col
+
+
+def _time_queries(executor: Executor, queries, repeats: int = 3) -> float:
+    """Best-of-N wall time of one pass over ``queries`` (plans stay warm)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for sql in queries:
+            executor.execute_sql(sql)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_columnar_outer_and_nested_loop_join_speedup():
+    catalog = standard_catalog(seed=42, scale=SCALE)
+    row, col = _executors(catalog)
+
+    # equivalence first: identical rows in identical order, NULL padding
+    # included, on every query
+    for queries in WORKLOAD.values():
+        for sql in queries:
+            expected = row.execute_sql(sql)
+            actual = col.execute_sql(sql)
+            assert expected.rows == actual.rows, sql
+            assert expected.column_names() == actual.column_names()
+    # covered, not tolerated: no query may have dropped to the row engine
+    assert col.stats.columnar_fallbacks == 0
+    assert col.stats.columnar_plan_gated == 0
+    assert col.stats.nested_loop_joins_columnar >= len(WORKLOAD["nested-loop"])
+
+    rows = []
+    shape_times = {}
+    for shape, queries in WORKLOAD.items():
+        row_t = _time_queries(row, queries)
+        col_t = _time_queries(col, queries)
+        shape_times[shape] = (row_t, col_t)
+        rows.append(
+            [
+                shape,
+                f"{row_t * 1000:.1f}ms",
+                f"{col_t * 1000:.1f}ms",
+                f"{row_t / max(col_t, 1e-9):.1f}x",
+            ]
+        )
+    total_row = sum(t for t, _ in shape_times.values())
+    total_col = sum(t for _, t in shape_times.values())
+    speedup = total_row / max(total_col, 1e-9)
+    rows.append(
+        [
+            "total",
+            f"{total_row * 1000:.1f}ms",
+            f"{total_col * 1000:.1f}ms",
+            f"{speedup:.1f}x",
+        ]
+    )
+    print_table(
+        f"Outer-join / nested-loop workload at scale x{SCALE:g}: "
+        "row plans vs columnar (same plan cache)",
+        ["shape", "row plans", "columnar", "speedup"],
+        rows,
+    )
+
+    payload = {
+        "benchmark": "columnar_joins",
+        "catalog_scale": SCALE,
+        "queries": {shape: len(qs) for shape, qs in WORKLOAD.items()},
+        "row_seconds": {s: t[0] for s, t in shape_times.items()},
+        "columnar_seconds": {s: t[1] for s, t in shape_times.items()},
+        "total_row_seconds": total_row,
+        "total_columnar_seconds": total_col,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "columnar_fallbacks": col.stats.columnar_fallbacks,
+        "nested_loop_joins_columnar": col.stats.nested_loop_joins_columnar,
+        "hash_joins_columnar": col.stats.hash_joins_executed,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH.name}")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"columnar outer/nested-loop joins only {speedup:.1f}x faster than "
+        f"row-based plans at scale {SCALE:g} (required ≥ {REQUIRED_SPEEDUP:g}x)"
+    )

@@ -123,6 +123,12 @@ def test_process_backend_speedup():
     )
     print(f"search speedup: {speedup:.2f}x (required {REQUIRED_SPEEDUP}x on >=4 cores)")
 
+    # a sub-WORKERS-core machine cannot overlap the worker processes, so the
+    # measured ratio is scheduling overhead, not a speedup — publishing it as
+    # `speedup` (e.g. 0.92 on a single-core container) misleads downstream
+    # perf tracking; report null plus the reason and keep the raw ratio
+    # under a name that says what it is
+    speedup_enforced = cores >= WORKERS
     payload = {
         "benchmark": "parallel_backends",
         "workload": f"filter x{QUERY_COUNT}",
@@ -133,7 +139,7 @@ def test_process_backend_speedup():
         "process_search_seconds": process.search_seconds,
         "serial_total_seconds": serial_elapsed,
         "process_total_seconds": process_elapsed,
-        "speedup": speedup,
+        "speedup": speedup if speedup_enforced else None,
         "process_warmup_seconds": process.search_stats.warmup_seconds,
         "states_evaluated": {
             "serial": serial.search_stats.states_evaluated,
@@ -144,8 +150,14 @@ def test_process_backend_speedup():
             "process": process.search_stats.reward_table_hits,
         },
         "required_speedup": REQUIRED_SPEEDUP,
-        "speedup_enforced": cores >= WORKERS,
+        "speedup_enforced": speedup_enforced,
     }
+    if not speedup_enforced:
+        payload["skipped_reason"] = (
+            f"only {cores} usable core(s): {WORKERS} process workers cannot "
+            f"run concurrently, so a wall-clock speedup is not measurable"
+        )
+        payload["serial_process_ratio"] = speedup
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH.name}")
 
@@ -154,7 +166,7 @@ def test_process_backend_speedup():
     assert serial.best_reward == process.best_reward
     assert serial.search_stats.iterations == process.search_stats.iterations
 
-    if cores >= WORKERS:
+    if speedup_enforced:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"process backend speedup {speedup:.2f}x below "
             f"{REQUIRED_SPEEDUP}x on a {cores}-core machine"

@@ -126,7 +126,7 @@ def _command_generate(args) -> int:
         f"\ngenerated in {result.total_seconds:.1f}s "
         f"(search {result.search_seconds:.1f}s, mapping {result.mapping_seconds:.1f}s)"
     )
-    print(_search_summary(result.search_stats))
+    print(_search_summary(result.search_stats, result.executor_stats))
     if args.taxonomy:
         print("\nYi et al. taxonomy coverage:")
         print(classify_interface(interface).describe())
@@ -144,8 +144,11 @@ def _command_generate(args) -> int:
     return 0
 
 
-def _search_summary(stats) -> str:
-    """One-line search diagnostics (backend, sharing, per-worker progress)."""
+def _search_summary(stats, executor_stats=None) -> str:
+    """One-line search diagnostics (backend, sharing, per-worker progress),
+    plus the executor's columnar coverage: how many reward-loop queries ran
+    vectorized, and — when any were routed to the row engine — the construct
+    responsible, so coverage gaps are observable instead of a bare counter."""
     per_worker = ",".join(str(n) for n in stats.per_worker_iterations)
     line = (
         f"search: backend={stats.backend} "
@@ -157,6 +160,22 @@ def _search_summary(stats) -> str:
     )
     if stats.warmup_seconds:
         line += f" warmup={stats.warmup_seconds:.2f}s"
+    if executor_stats is not None:
+        line += (
+            f"\ncolumnar: executions={executor_stats.columnar_executions} "
+            f"fallbacks={executor_stats.columnar_fallbacks} "
+            f"plan-gated={executor_stats.columnar_plan_gated}"
+        )
+        if executor_stats.fallback_reasons:
+            reason, count = max(
+                executor_stats.fallback_reasons.items(), key=lambda kv: kv[1]
+            )
+            line += f" (top reason: {reason} x{count})"
+        if stats.backend == "process":
+            # process workers rebuild their executors per process; their
+            # PlanStats never merge back, so only this process's share
+            # (final mapping + any serial work) is visible here
+            line += " [parent process only; worker stats not merged]"
     return line
 
 

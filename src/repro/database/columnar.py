@@ -14,10 +14,15 @@ a ``ResultTable`` identical — columns, dtypes, sources, and *row order* — to
 the row-based planned executor and the AST interpreter.  All scalar semantics
 (comparison coercion, NULL propagation, LIKE, NaN join keys) are delegated to
 :mod:`repro.database.values`, the single source of truth shared with the row
-engine.  Anything the vectorized evaluator cannot prove equivalent (scalar
-subqueries inside expressions, aggregates outside grouping, outer joins,
-nested-loop joins) raises :class:`UnsupportedColumnar` and the executor falls
-back to the row-based plan path for that query.
+engine.  Joins are fully covered: LEFT / RIGHT hash joins pad unmatched
+preserved rows with typed NULL columns after the residual filter, and
+non-equi ON conditions run through a block-wise vectorized nested-loop join —
+both reproduce the row engine's emission order exactly.  Uncorrelated scalar
+and IN subqueries (admitted by the planner's per-stage gating) are executed
+once through the owning executor and broadcast as constants / membership
+sets.  The rare remainder the vectorized evaluator cannot prove equivalent
+(aggregates outside a grouping stage) raises :class:`UnsupportedColumnar`
+and the executor falls back to the row-based plan path for that query.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from .planner import (
     FilterOp,
     HashJoinOp,
     MapOp,
+    NestedLoopJoinOp,
     Plan,
     PlanOp,
     ScanOp,
@@ -46,6 +52,7 @@ from .values import (
     is_null_key,
     like,
     like_matcher,
+    null_vector,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -165,10 +172,10 @@ class ColumnarEngine:
 
     def execute_plan(self, plan: Plan, env: Optional["Environment"]) -> ResultTable:
         """Run source → filter → group/project; the executor runs the tail."""
-        hash_joins = cross_joins = 0
+        hash_joins = cross_joins = nested_loops = 0
 
         def run(op: Optional[PlanOp]) -> ColumnarRelation:
-            nonlocal hash_joins, cross_joins
+            nonlocal hash_joins, cross_joins, nested_loops
             if op is None:
                 return ColumnarRelation([], [], 1)  # FROM-less: one empty row
             if isinstance(op, ScanOp):
@@ -196,10 +203,12 @@ class ColumnarEngine:
                     list(op.schema), [crel.cols[i] for i in op.indices], crel.nrows
                 )
             if isinstance(op, HashJoinOp):
-                if op.join_type != "INNER":
-                    raise UnsupportedColumnar("outer hash join")
                 crel = self._hash_join(run(op.left), run(op.right), op, env)
                 hash_joins += 1
+                return crel
+            if isinstance(op, NestedLoopJoinOp):
+                crel = self._nested_loop_join(run(op.left), run(op.right), op, env)
+                nested_loops += 1
                 return crel
             if isinstance(op, CrossJoinOp):
                 cross_joins += 1
@@ -219,6 +228,7 @@ class ColumnarEngine:
         # not double-count
         self.ex.stats.hash_joins_executed += hash_joins
         self.ex.stats.cross_joins_executed += cross_joins
+        self.ex.stats.nested_loop_joins_columnar += nested_loops
         return result
 
     # -- operators -----------------------------------------------------------
@@ -356,7 +366,122 @@ class ColumnarEngine:
         joined = ColumnarRelation(left.columns + right.columns, cols, len(out_l))
         if op.residual is not None:
             joined = self._filter(joined, op.residual, env)
+        return self._apply_outer_padding(left, right, joined, op.join_type)
+
+    #: target cross-product rows materialised per nested-loop block; bounds
+    #: peak memory while keeping each vectorized predicate pass long enough
+    #: to amortise expression-dispatch overhead
+    _NLJ_BLOCK = 4096
+
+    def _nested_loop_join(
+        self,
+        left: ColumnarRelation,
+        right: ColumnarRelation,
+        op: NestedLoopJoinOp,
+        env: Optional["Environment"],
+    ) -> ColumnarRelation:
+        """Block-wise vectorized nested-loop join (non-equi ON conditions).
+
+        Materialises the cross product a block of left rows at a time,
+        evaluates the ON condition once per block over the block's column
+        slices (so comparisons run through the vector fast paths instead of
+        a per-row environment), and gathers the surviving ``(left, right)``
+        index pairs.  Emission order is left-major — identical to the row
+        engine's cross-join + filter — and LEFT / RIGHT padding appends the
+        unmatched preserved rows afterwards, exactly like the row engine.
+        """
+        nl, nr = left.nrows, right.nrows
+        columns = left.columns + right.columns
+        out_l: list[int] = []
+        out_r: list[int] = []
+        if op.condition is None:
+            for i in range(nl):
+                out_l.extend([i] * nr)
+                out_r.extend(range(nr))
+        elif nr > 0:
+            block = max(1, self._NLJ_BLOCK // nr)
+            right_template = [col * block for col in right.cols]
+            for start in range(0, nl, block):
+                stop = min(start + block, nl)
+                b = stop - start
+                cols = [
+                    [v for v in col[start:stop] for _ in range(nr)]
+                    for col in left.cols
+                ]
+                if b == block:
+                    cols += right_template
+                else:
+                    cols += [col * b for col in right.cols]
+                brel = ColumnarRelation(columns, cols, b * nr)
+                mask = self._eval(op.condition, brel, env)
+                if mask[0] is _SCALAR:
+                    if mask[1]:
+                        for i in range(start, stop):
+                            out_l.extend([i] * nr)
+                            out_r.extend(range(nr))
+                    continue
+                for pos, keep in enumerate(mask[1]):
+                    if keep:
+                        out_l.append(start + pos // nr)
+                        out_r.append(pos % nr)
+        cols = [[col[i] for i in out_l] for col in left.cols]
+        cols += [[col[j] for j in out_r] for col in right.cols]
+        joined = ColumnarRelation(columns, cols, len(out_l))
+        return self._apply_outer_padding(left, right, joined, op.join_type)
+
+    def _apply_outer_padding(
+        self,
+        left: ColumnarRelation,
+        right: ColumnarRelation,
+        joined: ColumnarRelation,
+        join_type: str,
+    ) -> ColumnarRelation:
+        """Route a filtered join result through LEFT / RIGHT padding."""
+        if join_type == "LEFT":
+            return self._pad_outer(left, right, joined, left_side=True)
+        if join_type == "RIGHT":
+            return self._pad_outer(left, right, joined, left_side=False)
         return joined
+
+    @staticmethod
+    def _pad_outer(
+        left: ColumnarRelation,
+        right: ColumnarRelation,
+        joined: ColumnarRelation,
+        left_side: bool,
+    ) -> ColumnarRelation:
+        """Append NULL-padded unmatched preserved rows below a filtered join.
+
+        Mirrors the row engine's :meth:`Executor._pad_outer` exactly,
+        including its *value-tuple* matching: a preserved row counts as
+        matched when any surviving join row carries the same value tuple on
+        the preserved side (so duplicate rows are padded — or not — together,
+        and NaN components compare by object identity on both engines, which
+        agree because both gather the very same stored value objects).
+        """
+        preserved = left if left_side else right
+        offset = 0 if left_side else len(left.columns)
+        width = len(preserved.columns)
+        matched_cols = [joined.cols[offset + c] for c in range(width)]
+        matched = set()
+        for i in range(joined.nrows):
+            matched.add(tuple(col[i] for col in matched_cols))
+        pad = [
+            i
+            for i in range(preserved.nrows)
+            if tuple(col[i] for col in preserved.cols) not in matched
+        ]
+        if not pad:
+            return joined
+        nulls = null_vector(len(pad))
+        cols = []
+        for c in range(len(joined.cols)):
+            if offset <= c < offset + width:
+                pcol = preserved.cols[c - offset]
+                cols.append(joined.cols[c] + [pcol[i] for i in pad])
+            else:
+                cols.append(joined.cols[c] + nulls)
+        return ColumnarRelation(joined.columns, cols, joined.nrows + len(pad))
 
     @staticmethod
     def _cross_join(
@@ -531,6 +656,22 @@ class ColumnarEngine:
             if expr.value == "NOT":
                 return [v is not None for v in values]
             return [v is None for v in values]
+        if label == L.IN_LIST:
+            values = self._eval_per_group(expr.children[0], crel, groups, env, memo)
+            options = [
+                self._eval_per_group(c, crel, groups, env, memo)
+                for c in expr.children[1:]
+            ]
+            return [
+                v in [o[i] for o in options] for i, v in enumerate(values)
+            ]
+        if label == L.IN_QUERY:
+            values = self._eval_per_group(expr.children[0], crel, groups, env, memo)
+            sub = self.ex.execute(expr.children[1], env, _nested=True)
+            if not sub.columns:
+                return [False] * len(groups)
+            members = set(row[0] for row in sub.rows)
+            return [v in members for v in values]
         if label == L.FUNC and str(expr.value).removesuffix(" distinct") in SCALAR_FUNCTIONS:
             # a stray DISTINCT on a scalar call is ignored, like the row engine
             fn = SCALAR_FUNCTIONS[str(expr.value).removesuffix(" distinct")]
@@ -678,6 +819,26 @@ class ColumnarEngine:
             return self._eval_func(node, crel, env)
         if label == L.CASE:
             return self._eval_case(node, crel, env)
+        if label == L.SUBQUERY:
+            # plan-time gating admits only self-contained subqueries here, so
+            # one execution stands in for the row engine's per-row re-runs
+            sub = self.ex.execute(node, env, _nested=True)
+            if not sub.rows:
+                return (_SCALAR, None)
+            return (_SCALAR, sub.rows[0][0])
+        if label == L.IN_QUERY:
+            value = self._eval(node.children[0], crel, env)
+            sub = self.ex.execute(node.children[1], env, _nested=True)
+            if not sub.columns:
+                if value[0] is _SCALAR:
+                    return (_SCALAR, False)
+                return (_VECTOR, [False] * crel.nrows)
+            # membership set built once and broadcast over the vector — the
+            # row engine rebuilds the identical set per row
+            options = set(row[0] for row in sub.rows)
+            if value[0] is _SCALAR:
+                return (_SCALAR, value[1] in options)
+            return (_VECTOR, [v in options for v in value[1]])
         raise UnsupportedColumnar(f"expression node {label!r}")
 
     def _eval_logical(

@@ -21,10 +21,13 @@ outer row plan once.
 The original AST interpreter is retained behind ``use_planner=False`` and
 serves as the equivalence oracle: planned execution — row-based or columnar —
 must produce identical ``ResultTable``s (columns, types, sources, and row
-order) for every supported query.  Queries the vectorized engine cannot
-prove equivalent (scalar subqueries inside expressions, outer joins,
-aggregates outside grouping) silently fall back to the row-based plan path.
-Supported SQL surface (unchanged from the interpreter):
+order) for every supported query.  The vectorized engine covers every join
+shape (inner/outer hash joins, non-equi nested loops) and evaluates
+uncorrelated subquery predicates once with a broadcast; the rare remainder
+(correlated subqueries, aggregates outside grouping) runs on the row-based
+plan path, with the responsible construct recorded in
+``PlanStats.fallback_reasons``.  Supported SQL surface (unchanged from the
+interpreter):
 
 * projections with expressions, aliases, ``DISTINCT``, ``*``
 * comma joins, explicit ``JOIN ... ON`` (inner / left / right), subqueries
@@ -56,7 +59,7 @@ from .functions import (
     SCALAR_FUNCTIONS,
     is_aggregate,
 )
-from .plancache import SHARED_PLAN_CACHE, PlanCache
+from .plancache import SHARED_PLAN_CACHE, PlanCache, plan_key
 from .planner import (
     CrossJoinOp,
     FilterOp,
@@ -72,7 +75,7 @@ from .planner import (
     contains_aggregate,
 )
 from .table import RelColumn, Relation, ResultColumn, ResultTable, Table
-from .types import DataType, infer_value_type, unify_all
+from .types import DataType, aggregate_result_type, infer_value_type, unify_all
 from .values import arith_values, coerce_pair, compare_values, like, null_safe_key
 
 
@@ -129,6 +132,10 @@ class Executor:
         columnar: run plans on the vectorized column-at-a-time engine when
             possible (the default).  ``False`` pins the row-based plan
             executor — kept as the baseline for the columnar benchmarks.
+        columnar_subqueries: keep plans columnar when their expression stages
+            contain *uncorrelated* subqueries (evaluated once and broadcast
+            by the vectorized engine).  ``False`` restores the all-or-nothing
+            gate of the original columnar engine; part of the plan-cache key.
         allow_reorder: permit cost-based join reordering for queries whose
             ORDER BY re-fixes the output row order.
         order_insensitive: declare that this executor's *top-level* callers
@@ -155,6 +162,7 @@ class Executor:
         enable_cache: bool = True,
         use_planner: bool = True,
         columnar: bool = True,
+        columnar_subqueries: bool = True,
         allow_reorder: bool = True,
         order_insensitive: bool = False,
         cache_size: int = 1024,
@@ -165,6 +173,7 @@ class Executor:
         self.enable_cache = enable_cache
         self.use_planner = use_planner
         self.columnar = columnar
+        self.columnar_subqueries = columnar_subqueries
         self.allow_reorder = allow_reorder
         self.order_insensitive = order_insensitive
         self.cache_size = max(1, cache_size)
@@ -175,6 +184,7 @@ class Executor:
             self.stats,
             allow_reorder=allow_reorder,
             order_insensitive=order_insensitive,
+            columnar_subqueries=columnar_subqueries,
         )
         self.plan_cache = plan_cache if plan_cache is not None else SHARED_PLAN_CACHE
         from .columnar import ColumnarEngine  # deferred: columnar imports planner
@@ -252,14 +262,19 @@ class Executor:
         plan = self._plan_for(stmt, order_insensitive=order_insensitive)
 
         result: Optional[ResultTable] = None
-        if self.columnar and plan.columnar_ok:
-            from .columnar import UnsupportedColumnar
+        if self.columnar:
+            if plan.columnar_ok:
+                from .columnar import UnsupportedColumnar
 
-            try:
-                result = self._columnar_engine.execute_plan(plan, env)
-                self.stats.columnar_executions += 1
-            except UnsupportedColumnar:
-                self.stats.columnar_fallbacks += 1
+                try:
+                    result = self._columnar_engine.execute_plan(plan, env)
+                    self.stats.columnar_executions += 1
+                except UnsupportedColumnar as exc:
+                    self.stats.columnar_fallbacks += 1
+                    self.stats.record_fallback(str(exc))
+            else:
+                self.stats.columnar_plan_gated += 1
+                self.stats.record_fallback(plan.columnar_reason or "plan gated")
 
         if result is None:
             relation = self._exec_source(plan.source, env)
@@ -282,7 +297,12 @@ class Executor:
         return result
 
     def _plan_for(self, stmt: Node, order_insensitive: bool = False) -> Plan:
-        key = (stmt.fingerprint(), self.allow_reorder, order_insensitive)
+        key = plan_key(
+            stmt.fingerprint(),
+            self.allow_reorder,
+            order_insensitive,
+            self.columnar_subqueries,
+        )
         plan = self.plan_cache.get(self.catalog, key)
         if plan is not None:
             self.stats.plan_cache_hits += 1
@@ -788,16 +808,11 @@ class Executor:
         return to_sql(expr), DataType.ANY, None, False
 
     def _aggregate_type(self, expr: Node, relation: Relation) -> DataType:
-        base = str(expr.value).removesuffix(" distinct")
-        if base == "count":
-            return DataType.INT
-        if base == "avg":
-            return DataType.FLOAT
-        # sum/min/max follow their argument's type
+        # count → INT, avg → FLOAT; sum/min/max follow their argument's type
+        arg_dtype: Optional[DataType] = None
         if expr.children and expr.children[0].label == L.COLUMN:
-            _, dtype, _, _ = self._describe_expr(expr.children[0], relation)
-            return dtype
-        return DataType.FLOAT
+            _, arg_dtype, _, _ = self._describe_expr(expr.children[0], relation)
+        return aggregate_result_type(str(expr.value), arg_dtype)
 
     def _finalise(self, columns: list[ResultColumn], rows: list[tuple]) -> ResultTable:
         # refine ANY column types from observed values

@@ -28,6 +28,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .planner import Plan
 
 
+def plan_key(
+    fingerprint: str,
+    allow_reorder: bool,
+    order_insensitive: bool,
+    columnar_subqueries: bool,
+) -> tuple:
+    """The within-catalogue cache key of one compiled plan.
+
+    Every planner option that changes the *compiled artifact* must appear
+    here: ``allow_reorder`` / ``order_insensitive`` change the join order,
+    and ``columnar_subqueries`` changes the per-stage subquery gating baked
+    into ``Plan.columnar_ok`` / ``Plan.columnar_reason`` — executors with
+    different gating settings sharing one cache must never exchange plans
+    whose engine routing was decided under the other setting.
+    """
+    return (fingerprint, allow_reorder, order_insensitive, columnar_subqueries)
+
+
 class PlanCache:
     """LRU fingerprint→plan cache, partitioned by catalogue identity."""
 

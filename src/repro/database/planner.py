@@ -42,9 +42,9 @@ from typing import Optional, Sequence, Union
 from ..sqlparser import L, Node, to_sql
 from .catalog import Catalog
 from .functions import is_aggregate
-from .statistics import estimate_equi_join_rows
+from .statistics import estimate_equi_join_rows, estimate_group_count
 from .table import RelColumn, Relation
-from .types import DataType
+from .types import DataType, aggregate_result_type
 
 
 class PlanningError(Exception):
@@ -77,16 +77,32 @@ class PlanStats:
     hash_joins_executed: int = 0
     nested_loop_joins_executed: int = 0
     cross_joins_executed: int = 0
+    #: vectorized block-wise nested-loop joins (the columnar engine's path);
+    #: ``nested_loop_joins_executed`` counts the row engine's executions, so
+    #: the two split the planned total by engine
+    nested_loop_joins_columnar: int = 0
     columnar_executions: int = 0
     columnar_fallbacks: int = 0
+    #: executions routed to the row engine at *plan* time
+    #: (``Plan.columnar_ok`` false — e.g. a correlated subquery predicate)
+    columnar_plan_gated: int = 0
+    #: first unsupported construct per row-engine routing, reason → count;
+    #: covers both plan-time gating and runtime ``UnsupportedColumnar``
+    #: fallbacks, so coverage gaps are observable instead of a bare counter
+    fallback_reasons: dict = field(default_factory=dict)
     #: column gathers avoided by chaining multi-conjunct filters over one
     #: shared selection-index vector instead of re-gathering per predicate
     filter_gathers_saved: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
 
+    def record_fallback(self, reason: str) -> None:
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        d = dict(self.__dict__)
+        d["fallback_reasons"] = dict(self.fallback_reasons)
+        return d
 
 
 # ---------------------------------------------------------------------------
@@ -216,10 +232,15 @@ class Plan:
     limit: Optional[Node] = None
     distinct: bool = False
     has_aggregates: bool = False
-    #: True when the vectorized columnar engine can run this plan (no scalar
-    #: subqueries inside the projection / WHERE / GROUP BY / HAVING / join
-    #: conditions; subqueries in FROM and in ORDER BY / LIMIT are fine)
+    #: True when the vectorized columnar engine can run this plan.  Gating is
+    #: per stage: uncorrelated (self-contained) scalar and IN subqueries in
+    #: the projection / WHERE / GROUP BY / HAVING / join conditions evaluate
+    #: once and broadcast, so only *correlated* subqueries route the plan to
+    #: the row engine.  Subqueries in FROM and in ORDER BY / LIMIT are always
+    #: fine — they execute as separate statements or on the shared tail.
     columnar_ok: bool = True
+    #: first construct that disqualified the plan (``None`` when columnar_ok)
+    columnar_reason: Optional[str] = None
 
     # -- debugging / diagnostics ----------------------------------------
 
@@ -311,6 +332,13 @@ class Planner:
             ``LIMIT`` keep FROM order — truncation turns a row-order change
             into a row-*set* change.  Off by default; the pipeline opts in
             for the MCTS reward loop only.
+        columnar_subqueries: allow plans whose expression stages contain
+            *uncorrelated* subqueries to stay columnar (evaluate-once +
+            broadcast).  ``False`` restores the all-or-nothing gate — any
+            subquery in a projection / WHERE / GROUP BY / HAVING / ON stage
+            routes the whole plan to the row engine (kept as a kill switch
+            and as the baseline for gating benchmarks).  Part of the plan
+            cache key (:func:`repro.database.plancache.plan_key`).
     """
 
     def __init__(
@@ -319,11 +347,13 @@ class Planner:
         stats: Optional[PlanStats] = None,
         allow_reorder: bool = True,
         order_insensitive: bool = False,
+        columnar_subqueries: bool = True,
     ) -> None:
         self.catalog = catalog
         self.stats = stats or PlanStats()
         self.allow_reorder = allow_reorder
         self.order_insensitive = order_insensitive
+        self.columnar_subqueries = columnar_subqueries
 
     # -- public API --------------------------------------------------------
 
@@ -361,6 +391,9 @@ class Planner:
         groupby = clauses.get(L.GROUPBY_CLAUSE)
         having = clauses.get(L.HAVING_CLAUSE)
         self.stats.plans_compiled += 1
+        columnar_ok, columnar_reason = self._gate_columnar(
+            select, predicate, groupby, having, from_clause
+        )
         return Plan(
             source=source,
             residual_where=residual,
@@ -371,7 +404,8 @@ class Planner:
             limit=clauses.get(L.LIMIT_CLAUSE),
             distinct=select.value == "DISTINCT",
             has_aggregates=contains_aggregate(select) or having is not None,
-            columnar_ok=self._columnar_ok(select, predicate, groupby, having, from_clause),
+            columnar_ok=columnar_ok,
+            columnar_reason=columnar_reason,
         )
 
     @staticmethod
@@ -403,32 +437,160 @@ class Planner:
                 return False
         return True
 
-    @staticmethod
-    def _columnar_ok(
+    # -- columnar gating ------------------------------------------------------
+
+    def _gate_columnar(
+        self,
         select: Node,
         predicate: Optional[Node],
         groupby: Optional[Node],
         having: Optional[Node],
         from_clause: Optional[Node],
-    ) -> bool:
-        """True when no stage the vectorized engine runs contains a subquery.
+    ) -> tuple[bool, Optional[str]]:
+        """Per-stage columnar gating: ``(ok, first disqualifying construct)``.
 
         FROM subqueries execute as their own statements and ORDER BY / LIMIT
         run on the shared row-based tail, so only the projection, WHERE,
-        GROUP BY, HAVING and join ON conditions disqualify a plan.
+        GROUP BY, HAVING and join ON conditions are inspected.  A subquery in
+        one of those stages no longer disqualifies the plan wholesale: when
+        it is provably *self-contained* (every column reference resolves
+        inside the subquery's own scope chain, so per-row re-evaluation is
+        pure repetition) the columnar engine evaluates it once and broadcasts
+        the scalar / membership set into the vectorized stage.  Only
+        correlated subqueries — whose value genuinely depends on the outer
+        row — still route the plan to the row engine.
         """
-        suspects = [select, predicate, groupby, having]
+        stages = [
+            ("projection", select),
+            ("WHERE", predicate),
+            ("GROUP BY", groupby),
+            ("HAVING", having),
+        ]
         if from_clause is not None:
-            for join in from_clause.find_label(L.JOIN):
-                if len(join.children) > 2:
-                    suspects.append(join.children[2])
-        for node in suspects:
+            stages.extend(
+                ("join condition", cond)
+                for cond in _iter_join_conditions(from_clause)
+            )
+        for stage, node in stages:
             if node is None:
                 continue
-            for n in node.walk():
-                if n.label in (L.SUBQUERY, L.IN_QUERY):
+            stack = [node]
+            while stack:
+                n = stack.pop()
+                if n.label == L.SUBQUERY:
+                    if not self.columnar_subqueries:
+                        return False, f"subquery in {stage}"
+                    if not self._self_contained(n.children[0]):
+                        return False, f"correlated subquery in {stage}"
+                    continue  # inner statement validated recursively above
+                if n.label == L.IN_QUERY:
+                    stack.append(n.children[0])  # the tested expression
+                    sub = n.children[1]
+                    stmt = sub.children[0] if sub.label == L.SUBQUERY else sub
+                    if not self.columnar_subqueries:
+                        return False, f"IN subquery in {stage}"
+                    if not self._self_contained(stmt):
+                        return False, f"correlated IN subquery in {stage}"
+                    continue
+                stack.extend(n.children)
+        return True, None
+
+    def _self_contained(self, stmt: Node, outer_scopes: tuple = ()) -> bool:
+        """True when executing ``stmt`` can never consult an outer row.
+
+        Verifies that every column reference — in the statement's own
+        expressions, in its expression subqueries (checked recursively with
+        the scope chain extended), and in its FROM subqueries (checked
+        against ``outer_scopes`` only: a FROM subquery executes *before* the
+        statement's relation exists) — resolves somewhere inside the
+        statement's own scope chain.  Anything unanalyzable (unknown tables,
+        FROM subqueries without a derivable schema, select-alias references)
+        conservatively reports ``False``.
+        """
+        if stmt.label == L.SUBQUERY:
+            stmt = stmt.children[0]
+        scope = self._stmt_scope(stmt)
+        if scope is None:
+            return False
+        bare, qualified, from_substmts = scope
+        scopes = ((bare, qualified), *outer_scopes)
+        for sub in from_substmts:
+            if not self._self_contained(sub, outer_scopes):
+                return False
+        clauses = {c.label: c for c in stmt.children}
+        stack: list[Node] = []
+        for label, clause in clauses.items():
+            if label == L.FROM_CLAUSE:
+                # table refs were consumed by _stmt_scope; only the JOIN ON
+                # conditions carry expressions to check at this scope level
+                stack.extend(_iter_join_conditions(clause))
+            else:
+                stack.append(clause)
+        while stack:
+            n = stack.pop()
+            if n.label == L.SUBQUERY:
+                if not self._self_contained(n.children[0], scopes):
                     return False
+                continue
+            if n.label == L.COLUMN:
+                if not _scopes_resolve(scopes, str(n.value)):
+                    return False
+            stack.extend(n.children)
         return True
+
+    def _stmt_scope(
+        self, stmt: Node
+    ) -> Optional[tuple[set, set, list[Node]]]:
+        """Column names visible inside one statement's own FROM clause.
+
+        Returns ``(bare_names, (qualifier, name) pairs, FROM-subquery
+        statements)`` or ``None`` when the scope cannot be derived (unknown
+        table, FROM subquery without a statically derivable schema).
+        """
+        if stmt.label != L.SELECT_STMT:
+            return None
+        from_clause = next(
+            (c for c in stmt.children if c.label == L.FROM_CLAUSE), None
+        )
+        bare: set = set()
+        qualified: set = set()
+        substmts: list[Node] = []
+        if from_clause is None:
+            return bare, qualified, substmts
+        stack = list(from_clause.children)
+        while stack:
+            ref = stack.pop()
+            if ref.label == L.JOIN:
+                stack.extend(ref.children[:2])
+                continue
+            if ref.label != L.TABLE_REF:
+                return None
+            source = ref.children[0]
+            alias = None
+            if len(ref.children) > 1 and ref.children[1].label == L.ALIAS:
+                alias = str(ref.children[1].value)
+            if source.label == L.TABLE_NAME:
+                name = str(source.value)
+                if not self.catalog.has_table(name):
+                    return None
+                table = self.catalog.table(name)
+                qualifier = (alias or table.name).lower()
+                for col in table.columns:
+                    bare.add(col.name)
+                    qualified.add((qualifier, col.name))
+            elif source.label == L.SUBQUERY:
+                op = SubqueryScanOp(source.children[0], alias)
+                self._derive_subquery_schema(op)
+                if op.schema is None:
+                    return None
+                for col in op.schema:
+                    bare.add(col.name)
+                    if col.qualifier is not None:
+                        qualified.add((col.qualifier.lower(), col.name))
+                substmts.append(source.children[0])
+            else:
+                return None
+        return bare, qualified, substmts
 
     # -- projection pruning -------------------------------------------------
 
@@ -649,12 +811,20 @@ class Planner:
     def _derive_subquery_schema(self, op: SubqueryScanOp) -> None:
         """Statically derive the output schema of a simple FROM subquery.
 
-        Succeeds only for a plain (optionally DISTINCT) projection of columns
-        and ``*`` over a single base table with no grouping, aggregates or
-        HAVING — exactly the shape whose runtime ``ResultTable`` schema the
-        planner can predict, column for column.  On success the subquery item
-        participates in predicate classification and hash joins like a base
-        scan.
+        Succeeds for a (optionally DISTINCT) projection of columns, ``*`` and
+        aggregate calls over a single base table — including GROUP BY /
+        HAVING shapes — exactly the forms whose runtime ``ResultTable``
+        schema the planner can predict, column for column.  On success the
+        subquery item participates in predicate classification and hash
+        joins like a base scan.
+
+        ``pushdown_map`` only exposes output columns whose inner filter
+        provably commutes with the subquery: every plain column for
+        ungrouped subqueries, but *only the GROUP BY key columns* for
+        grouped ones — filtering rows on a group key before grouping removes
+        exactly the groups whose key fails, while filtering on any other
+        column would change group membership (and aggregate outputs cannot
+        be filtered below the grouping at all).
         """
         stmt = op.stmt
         if stmt.label != L.SELECT_STMT:
@@ -663,10 +833,6 @@ class Planner:
         select = clauses.get(L.SELECT_CLAUSE)
         from_clause = clauses.get(L.FROM_CLAUSE)
         if select is None or from_clause is None or len(from_clause.children) != 1:
-            return
-        if clauses.get(L.GROUPBY_CLAUSE) is not None or clauses.get(L.HAVING_CLAUSE) is not None:
-            return
-        if contains_aggregate(select):
             return
         ref = from_clause.children[0]
         if ref.label != L.TABLE_REF or ref.children[0].label != L.TABLE_NAME:
@@ -680,7 +846,22 @@ class Planner:
             inner_alias = str(ref.children[1].value)
         inner_qualifier = inner_alias or table.name
 
-        out: list[tuple[str, str]] = []  # (output name, inner bare column)
+        groupby = clauses.get(L.GROUPBY_CLAUSE)
+        having = clauses.get(L.HAVING_CLAUSE)
+        grouped = (
+            groupby is not None or having is not None or contains_aggregate(select)
+        )
+        # plain-column GROUP BY keys: the only outputs whose predicates may
+        # be rewritten into the grouped subquery's own WHERE
+        group_keys: set[str] = set()
+        if groupby is not None:
+            for expr in groupby.children:
+                key = _table_column(expr, table, inner_qualifier)
+                if key is not None:
+                    group_keys.add(key)
+
+        # (output name, pushable inner column or None, dtype, source, is_agg)
+        out: list[tuple[str, Optional[str], DataType, Optional[str], bool]] = []
         for item in select.children:
             expr = item.children[0]
             item_alias = None
@@ -689,45 +870,108 @@ class Planner:
             if expr.label == L.STAR and expr.value in ("*", None):
                 if item_alias is not None:
                     return
-                out.extend((c.name, c.name) for c in table.columns)
+                out.extend(
+                    (c.name, c.name, c.dtype, f"{table.name}.{c.name}", False)
+                    for c in table.columns
+                )
                 continue
-            if expr.label != L.COLUMN:
-                return
-            name = str(expr.value)
-            qualifier, bare = None, name
-            if "." in name:
-                qualifier, bare = name.split(".", 1)
-            if qualifier is not None and qualifier.lower() != inner_qualifier.lower():
-                return
-            if not table.has_column(bare):
-                return
-            out.append(((item_alias or bare), bare))
+            if expr.label == L.COLUMN:
+                bare = _table_column(expr, table, inner_qualifier)
+                if bare is None:
+                    return
+                col = table.column(bare)
+                out.append(
+                    (
+                        item_alias or bare,
+                        bare,
+                        col.dtype,
+                        f"{table.name}.{col.name}",
+                        False,
+                    )
+                )
+                continue
+            if expr.label == L.FUNC and is_aggregate(str(expr.value)):
+                dtype = self._static_aggregate_type(expr, table, inner_qualifier)
+                if dtype is None:
+                    return
+                base = str(expr.value).removesuffix(" distinct")
+                out.append((item_alias or base, None, dtype, None, True))
+                continue
+            return
 
         # deduplicate output names exactly like the executor's output schema
         seen: dict[str, int] = {}
         schema: list[RelColumn] = []
         pushdown_map: dict[str, str] = {}
-        for out_name, bare in out:
+        for out_name, bare, dtype, source, is_agg in out:
             if out_name in seen:
                 seen[out_name] += 1
                 out_name = f"{out_name}_{seen[out_name]}"
             else:
                 seen[out_name] = 0
-            col = table.column(bare)
             schema.append(
                 RelColumn(
                     name=out_name,
                     qualifier=op.alias,
-                    dtype=col.dtype,
-                    source=f"{table.name}.{col.name}",
+                    dtype=dtype,
+                    source=source,
+                    is_aggregate=is_agg,
                 )
             )
-            pushdown_map[out_name] = f"{inner_qualifier}.{bare}"
+            if bare is not None and (not grouped or bare in group_keys):
+                pushdown_map[out_name] = f"{inner_qualifier}.{bare}"
 
         op.schema = schema
-        op.estimated_rows = float(len(table))
+        op.estimated_rows = self._estimate_subquery_rows(
+            table, inner_qualifier, grouped, groupby
+        )
         op.pushdown_map = pushdown_map
         op.pushdown_safe = clauses.get(L.LIMIT_CLAUSE) is None
+
+    def _static_aggregate_type(
+        self, expr: Node, table, qualifier: str
+    ) -> Optional[DataType]:
+        """Plan-time output type of an aggregate call, or ``None`` to bail.
+
+        Supports ``count(*)`` and aggregates over a plain column of the
+        subquery's table; anything else (computed arguments, unresolvable
+        columns) leaves the schema underivable so the item conservatively
+        keeps its run-time-only schema.
+        """
+        base = str(expr.value).removesuffix(" distinct")
+        arg_dtype: Optional[DataType] = None
+        if expr.children and expr.children[0].label != L.STAR:
+            arg = expr.children[0]
+            if arg.label != L.COLUMN:
+                return None
+            bare = _table_column(arg, table, qualifier)
+            if bare is None:
+                return None
+            arg_dtype = table.column(bare).dtype
+        elif base in ("sum", "min", "max", "avg") and not expr.children:
+            return None
+        if base in ("sum", "min", "max") and arg_dtype is None:
+            return None
+        return aggregate_result_type(str(expr.value), arg_dtype)
+
+    def _estimate_subquery_rows(
+        self, table, qualifier: str, grouped: bool, groupby: Optional[Node]
+    ) -> float:
+        if not grouped:
+            return float(len(table))
+        key_distincts: list = []
+        for expr in groupby.children if groupby is not None else []:
+            bare = _table_column(expr, table, qualifier)
+            distinct = None
+            if bare is not None:
+                try:
+                    distinct = self.catalog.statistics(
+                        f"{table.name}.{bare}"
+                    ).distinct_count
+                except Exception:
+                    distinct = None
+            key_distincts.append(distinct)
+        return estimate_group_count(len(table), key_distincts)
 
     def _push_into_subquery(
         self, op: SubqueryScanOp, preds: list[Node]
@@ -972,6 +1216,62 @@ class Planner:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+def _table_column(expr: Node, table, qualifier: str) -> Optional[str]:
+    """The bare column name when ``expr`` is a plain reference to ``table``.
+
+    Accepts an unqualified name or one qualified by the item's alias / table
+    name (case-insensitively); returns ``None`` for anything else.
+    """
+    if expr.label != L.COLUMN:
+        return None
+    name = str(expr.value)
+    col_qualifier, bare = None, name
+    if "." in name:
+        col_qualifier, bare = name.split(".", 1)
+    if col_qualifier is not None and col_qualifier.lower() != qualifier.lower():
+        return None
+    if not table.has_column(bare):
+        return None
+    return bare
+
+
+def _iter_join_conditions(from_clause: Node):
+    """The ON conditions of a FROM clause's explicit JOIN trees.
+
+    Descends only through the JOIN structure (children 0 and 1), never into
+    the conditions themselves — a JOIN inside a subquery in an ON condition
+    belongs to that subquery's scope, not this one.
+    """
+    stack = list(from_clause.children)
+    while stack:
+        ref = stack.pop()
+        if ref.label == L.JOIN:
+            stack.extend(ref.children[:2])
+            if len(ref.children) > 2:
+                yield ref.children[2]
+
+
+def _scopes_resolve(scopes: tuple, name: str) -> bool:
+    """True when a (possibly qualified) column name resolves in any scope.
+
+    Mirrors the executor's chained :class:`Environment` lookup: bare names
+    match any column of any scope; qualified names match case-insensitively
+    on the qualifier.
+    """
+    qualifier: Optional[str] = None
+    bare = name
+    if "." in name:
+        qualifier, bare = name.split(".", 1)
+        qualifier = qualifier.lower()
+    for bares, qualifieds in scopes:
+        if qualifier is None:
+            if bare in bares:
+                return True
+        elif (qualifier, bare) in qualifieds:
+            return True
+    return False
 
 
 def _split_conjuncts(node: Node) -> list[Node]:

@@ -100,6 +100,29 @@ def estimate_equi_join_rows(
     return left_rows * right_rows / denom
 
 
+def estimate_group_count(
+    row_count: int, key_distinct_counts: list
+) -> float:
+    """Estimated output rows of a GROUP BY over ``row_count`` input rows.
+
+    ``key_distinct_counts`` holds one per-key distinct cardinality (``None``
+    when unknown, e.g. a computed grouping expression).  With no keys the
+    query is a pure aggregate and always emits exactly one row; with keys the
+    group count is bounded by both the input size and the product of the key
+    cardinalities.  Used by the planner to annotate aggregate FROM-subquery
+    scans so join ordering sees grouped inputs as the small relations they
+    usually are.
+    """
+    if not key_distinct_counts:
+        return 1.0
+    estimate = 1.0
+    for distinct in key_distinct_counts:
+        if distinct is None or distinct <= 0:
+            return float(row_count)
+        estimate *= distinct
+    return float(min(row_count, estimate))
+
+
 def _sort_key(value: object):
     """Sort key that keeps heterogeneous columns (e.g. int/float mixes) stable."""
     if isinstance(value, bool):

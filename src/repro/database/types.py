@@ -59,6 +59,26 @@ def looks_like_date(value: str) -> bool:
     return y.isdigit() and m.isdigit() and d.isdigit()
 
 
+def aggregate_result_type(
+    func_name: str, arg_dtype: Optional[DataType] = None
+) -> DataType:
+    """Output type of an aggregate call given its argument's column type.
+
+    ``count`` always yields INT and ``avg`` always FLOAT; ``sum``/``min``/
+    ``max`` follow their argument's type when it is a plain column reference
+    and default to FLOAT otherwise.  This single mapping is shared by the
+    executor's runtime output-schema description and the planner's *static*
+    schema derivation for aggregate FROM subqueries, so the two can never
+    disagree about a grouped subquery's column types.
+    """
+    base = func_name.removesuffix(" distinct")
+    if base == "count":
+        return DataType.INT
+    if base == "avg":
+        return DataType.FLOAT
+    return arg_dtype if arg_dtype is not None else DataType.FLOAT
+
+
 def unify_types(a: DataType, b: DataType) -> DataType:
     """Least common type of two data types (used for union schemas)."""
     if a == b:

@@ -107,6 +107,18 @@ def null_safe_key(value: object):
     return (2, str(value), 0)
 
 
+def null_vector(n: int) -> list:
+    """A typed-NULL padding column of ``n`` SQL NULLs.
+
+    Outer joins pad the unmatched side with one of these per column; the
+    column's declared :class:`~repro.database.types.DataType` is carried by
+    its ``RelColumn`` schema entry, so padding never changes a column's type —
+    only its values.  Kept here so both join implementations build padding
+    the same way.
+    """
+    return [None] * n
+
+
 def is_null_key(value: object) -> bool:
     """True for join-key components that can never match: NULL and NaN.
 

@@ -77,6 +77,19 @@ def test_generate_from_workload(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "view 0" in out
+    # the search summary surfaces the executor's columnar coverage: the
+    # explore workload must run fully vectorized, with zero fallbacks
+    assert "columnar: executions=" in out
+    assert "fallbacks=0" in out
+
+
+def test_generate_summary_names_fallback_reason(capsys):
+    """A workload with correlated subqueries reports the routing reason."""
+    code = main(["generate", "--workload", "sales", "--scale", "0.12"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "plan-gated=" in out
+    assert "correlated subquery in HAVING" in out
 
 
 def test_parser_structure():

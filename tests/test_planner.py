@@ -99,6 +99,32 @@ EXTRA_QUERIES = [
     # count(DISTINCT ...) and aggregates over an empty relation
     "SELECT count(DISTINCT origin) FROM Cars",
     "SELECT count(*), sum(hp), min(hp) FROM Cars WHERE hp > 100000",
+    # outer joins with residual ON conjuncts (padding after the residual)
+    "SELECT t.p, s.ra FROM T as t LEFT JOIN specObj as s "
+    "ON t.p = s.specObjID AND s.ra > 213.5",
+    "SELECT t.p, s.ra FROM T as t RIGHT JOIN specObj as s "
+    "ON t.p = s.specObjID AND s.ra > 213.5",
+    # non-equi outer joins: block-wise nested loop + padding
+    "SELECT t.p, c.hp FROM T as t RIGHT JOIN Cars as c ON t.p > c.id",
+    "SELECT t.a, c.mpg FROM T as t LEFT JOIN Cars as c ON t.a > c.mpg",
+    # uncorrelated subqueries in vectorized stages: evaluated once, broadcast
+    "SELECT hp FROM Cars WHERE hp > (SELECT avg(hp) FROM Cars) "
+    "AND mpg < (SELECT max(mpg) FROM Cars)",
+    "SELECT (SELECT max(hp) FROM Cars), origin FROM Cars "
+    "WHERE id IN (SELECT id FROM Cars WHERE hp > 100)",
+    "SELECT city, sum(total) FROM sales GROUP BY city "
+    "HAVING sum(total) >= (SELECT avg(total) FROM sales)",
+    "SELECT origin, count(*) FROM Cars "
+    "WHERE hp IN (SELECT hp FROM Cars WHERE mpg > 30) GROUP BY origin",
+    # grouped FROM subquery: static schema, hash join, key-only pushdown
+    "SELECT sub.city, s.total FROM "
+    "(SELECT city, sum(total) as t FROM sales GROUP BY city) sub, sales as s "
+    "WHERE sub.city = s.city AND s.total > 400",
+    "SELECT city, t FROM "
+    "(SELECT city, sum(total) as t FROM sales GROUP BY city) sub "
+    "WHERE city LIKE '%a%' AND t > 0",
+    "SELECT c, t FROM (SELECT city as c, count(*) as t, avg(total) FROM sales "
+    "GROUP BY city HAVING count(*) > 1) sub WHERE c LIKE '%a%'",
 ]
 
 
@@ -214,6 +240,15 @@ def test_null_nan_equivalence_property(left, right):
         "SELECT v FROM lt WHERE v > 0 OR v IS NULL",
         "SELECT count(DISTINCT k) FROM lt WHERE k >= 0",
         "SELECT lt.k, rt.w FROM lt, rt WHERE lt.k = rt.k AND rt.w <= 2",
+        # outer joins: NULL/NaN keys never match, unmatched preserved rows
+        # come back NULL-padded, and padding order matches the row engine
+        "SELECT lt.k, lt.v, rt.w FROM lt LEFT JOIN rt ON lt.k = rt.k",
+        "SELECT lt.v, rt.k, rt.w FROM lt RIGHT JOIN rt ON lt.k = rt.k",
+        "SELECT lt.k, rt.w FROM lt LEFT JOIN rt ON lt.k = rt.k AND rt.w > 0",
+        # non-equi joins (vectorized nested loop), inner and both paddings
+        "SELECT lt.v, rt.w FROM lt JOIN rt ON lt.v > rt.w",
+        "SELECT lt.k, rt.w FROM lt LEFT JOIN rt ON lt.v > rt.w",
+        "SELECT lt.k, rt.w FROM lt RIGHT JOIN rt ON lt.v < rt.w",
     ]
     for sql in queries:
         expected = interpreted.execute_sql(sql)
@@ -476,16 +511,115 @@ def test_static_subquery_schema_enables_hash_join():
     assert isinstance(plan.source, HashJoinOp)
 
 
-def test_plans_with_scalar_subqueries_are_not_columnar():
+def test_uncorrelated_subquery_predicates_stay_columnar():
+    """Per-stage gating: a self-contained subquery predicate no longer forces
+    the whole plan onto the row engine — it is evaluated once and broadcast."""
     plan = plan_for(
         "SELECT total FROM sales WHERE total >= (SELECT max(total) FROM sales)"
     )
-    assert plan.columnar_ok is False
+    assert plan.columnar_ok is True and plan.columnar_reason is None
+    plan = plan_for(
+        "SELECT hour FROM flights WHERE hour IN (SELECT hour FROM flights)"
+    )
+    assert plan.columnar_ok is True
     plan = plan_for("SELECT hp FROM Cars WHERE mpg > 20")
     assert plan.columnar_ok is True
     # FROM subqueries execute separately: they do not disqualify the outer plan
     plan = plan_for("SELECT hour FROM (SELECT hour FROM flights) sub WHERE hour > 1")
     assert plan.columnar_ok is True
+
+
+def test_correlated_subqueries_gate_the_plan_with_a_reason():
+    """Correlated subqueries still route to the row engine, and the first
+    unsupported construct is recorded on the plan for observability."""
+    plan = plan_for(
+        "SELECT product, sum(total) FROM sales as ss GROUP BY product "
+        "HAVING sum(total) >= (SELECT max(total) FROM sales as s "
+        "WHERE s.city = ss.city)"
+    )
+    assert plan.columnar_ok is False
+    assert plan.columnar_reason == "correlated subquery in HAVING"
+    plan = plan_for(
+        "SELECT total FROM sales as ss WHERE total >= "
+        "(SELECT max(total) FROM sales as s WHERE s.city = ss.city)"
+    )
+    assert plan.columnar_ok is False
+    assert plan.columnar_reason == "correlated subquery in WHERE"
+    # the sales workload's nested shape: the correlated reference sits inside
+    # a FROM subquery of the HAVING subquery — still detected
+    plan = plan_for(
+        "SELECT city, product, sum(total) FROM sales as ss "
+        "GROUP BY city, product "
+        "HAVING sum(total) >= (SELECT max(t) FROM "
+        "(SELECT sum(total) as t FROM sales as s WHERE s.city = ss.city "
+        "GROUP BY s.city, s.product))"
+    )
+    assert plan.columnar_ok is False
+    assert plan.columnar_reason == "correlated subquery in HAVING"
+
+
+def test_columnar_subqueries_kill_switch_restores_blanket_gate():
+    """columnar_subqueries=False reinstates the all-or-nothing PR-2 gate and
+    is part of the plan identity (the cache may never mix the two)."""
+    sql = "SELECT total FROM sales WHERE total >= (SELECT max(total) FROM sales)"
+    strict = Planner(CATALOG, columnar_subqueries=False).plan(parse(sql))
+    assert strict.columnar_ok is False
+    assert strict.columnar_reason == "subquery in WHERE"
+    cache = PlanCache()
+    relaxed_ex = Executor(CATALOG, enable_cache=False, plan_cache=cache)
+    gated_ex = Executor(
+        CATALOG, enable_cache=False, plan_cache=cache, columnar_subqueries=False
+    )
+    relaxed_ex.execute_sql(sql)
+    gated_ex.execute_sql(sql)
+    # both compiled their own outer and inner plans: the gating flag is part
+    # of the cache key, so relaxed and gated plans never mix
+    assert relaxed_ex.stats.plans_compiled == 2
+    assert gated_ex.stats.plans_compiled == 2
+    assert gated_ex.stats.columnar_plan_gated == 1
+    assert relaxed_ex.stats.columnar_plan_gated == 0
+
+
+def test_grouped_subquery_gets_static_schema_and_hash_join():
+    """Aggregate / GROUP BY FROM subqueries now derive their schema
+    statically, so they participate in hash joins like a base scan."""
+    plan = plan_for(
+        "SELECT sub.city, s.total FROM "
+        "(SELECT city, sum(total) as t FROM sales GROUP BY city) sub, "
+        "sales as s WHERE sub.city = s.city"
+    )
+    assert isinstance(plan.source, HashJoinOp)
+    sub = plan.source.left
+    assert isinstance(sub, SubqueryScanOp)
+    names = [c.name for c in sub.schema]
+    assert names == ["city", "t"]
+    assert sub.schema[1].is_aggregate is True
+    # group count estimate: bounded by the key's distinct cardinality
+    assert 0 < sub.estimated_rows <= len(CATALOG.table("sales"))
+
+
+def test_grouped_subquery_pushdown_is_restricted_to_group_keys():
+    """Predicates on GROUP BY key outputs are rewritten into the subquery's
+    WHERE; predicates on aggregate outputs must stay above the grouping."""
+    planner = Planner(CATALOG)
+    plan = planner.plan(
+        parse(
+            "SELECT city, t FROM "
+            "(SELECT city, sum(total) as t FROM sales GROUP BY city) sub "
+            "WHERE city LIKE '%a%' AND t > 0"
+        )
+    )
+    assert planner.stats.subquery_pushdowns == 1
+    from repro.sqlparser import to_sql
+
+    # the key conjunct moved into the inner WHERE; the aggregate conjunct
+    # stayed outside as a filter above the subquery scan
+    from repro.database.planner import FilterOp
+
+    assert isinstance(plan.source, FilterOp)
+    assert "t > 0" in " AND ".join(to_sql(p) for p in plan.source.predicates)
+    inner = to_sql(plan.source.child.stmt)
+    assert "LIKE" in inner and "t > 0" not in inner
 
 
 def test_nan_join_keys_never_match():
