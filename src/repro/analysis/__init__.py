@@ -1,0 +1,47 @@
+"""repro.analysis — static enforcement of the repo's runtime invariants.
+
+The dynamic test suite proves the determinism/caching/concurrency
+invariants *for the inputs it runs*; this package proves their structural
+preconditions for *all* code paths: a visitor-based AST lint framework
+(:mod:`~repro.analysis.core`) with per-file and whole-project passes, a
+checker registry, ``# repro: allow-<rule>`` suppression pragmas, a
+baseline file (:mod:`~repro.analysis.baseline`), and a CLI
+(:mod:`~repro.analysis.cli`, also installed as ``repro-analyze``) with
+``text``/``json``/``github`` output.
+
+Public API: :func:`analyze_source` for one snippet, :func:`build_project`
++ :func:`run_checkers` for file sets, :data:`REGISTRY`/:func:`register`
+for custom checkers, and :class:`Baseline` for the accepted-findings file.
+"""
+
+from .baseline import Baseline
+from .core import (
+    AnalysisResult,
+    Checker,
+    FileContext,
+    Finding,
+    Project,
+    REGISTRY,
+    all_checkers,
+    analyze_source,
+    build_project,
+    project_from_sources,
+    register,
+    run_checkers,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "Project",
+    "REGISTRY",
+    "all_checkers",
+    "analyze_source",
+    "build_project",
+    "project_from_sources",
+    "register",
+    "run_checkers",
+]

@@ -1,0 +1,100 @@
+"""Baseline files: accepted pre-existing findings, keyed line-drift-proof.
+
+A baseline lets the analyzer be adopted on a codebase with known,
+not-yet-fixed findings without turning the CI gate red: every finding that
+matches a baseline entry is reported as *baselined* and does not affect the
+exit code.  New findings — anything not in the baseline — still fail.
+
+Entries deliberately do **not** record line numbers: a finding is matched by
+``(rule, path, stripped source line text)``, so unrelated edits above a
+baselined site do not invalidate it, while any edit to the offending line
+itself (including fixing it) drops the match.  Stale entries — baselined
+findings that no longer occur — are reported by ``--prune-baseline`` so the
+file only ever shrinks toward zero.
+
+The file format is sorted, indented JSON so diffs review cleanly::
+
+    {"version": 1, "entries": [{"rule": ..., "path": ..., "context": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import Finding, Project
+
+DEFAULT_BASELINE = ".repro-analysis-baseline.json"
+
+
+def _context_for(project: Project, finding: Finding) -> str:
+    ctx = project.file(finding.path)
+    if ctx is None or not (1 <= finding.line <= len(ctx.lines)):
+        return ""
+    return ctx.lines[finding.line - 1].strip()
+
+
+def _entry(project: Project, finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "context": _context_for(project, finding),
+    }
+
+
+def _entry_key(entry: dict) -> tuple:
+    return (entry.get("rule", ""), entry.get("path", ""), entry.get("context", ""))
+
+
+class Baseline:
+    """An accepted-findings set, matched by (rule, path, line text)."""
+
+    def __init__(self, entries: Optional[Sequence[dict]] = None) -> None:
+        self.entries = [dict(e) for e in entries or ()]
+        self._index = {_entry_key(e) for e in self.entries}
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        data = json.loads(file.read_text())
+        return cls(data.get("entries", ()))
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "entries": sorted(self.entries, key=_entry_key),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def matches(self, project: Project, finding: Finding) -> bool:
+        return _entry_key(_entry(project, finding)) in self._index
+
+    def split(
+        self, project: Project, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, baselined)`` partition of ``findings``."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            (old if self.matches(project, finding) else new).append(finding)
+        return new, old
+
+    def stale_entries(
+        self, project: Project, findings: Sequence[Finding]
+    ) -> list[dict]:
+        """Baseline entries no current finding matches (candidates to prune)."""
+        live = {_entry_key(_entry(project, f)) for f in findings}
+        return [e for e in self.entries if _entry_key(e) not in live]
+
+    @classmethod
+    def from_findings(
+        cls, project: Project, findings: Sequence[Finding]
+    ) -> "Baseline":
+        seen: dict[tuple, dict] = {}
+        for finding in findings:
+            entry = _entry(project, finding)
+            seen.setdefault(_entry_key(entry), entry)
+        return cls(list(seen.values()))

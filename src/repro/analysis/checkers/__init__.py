@@ -1,0 +1,20 @@
+"""Built-in checkers; importing this package populates the registry.
+
+Each module registers one rule via :func:`repro.analysis.core.register`:
+
+========================== ==================================================
+rule                        guards
+========================== ==================================================
+``unordered-iteration``     set/dict-view iteration order leaking into results
+``cache-key-field``         plan-cache key completeness vs. planner flags
+``unlocked-shared-mutation`` lock discipline of shared caches and globals
+``unpicklable-worker-state`` process-backend worker-spec pickle safety
+``nondeterministic-key``    id()/hash()/env/time values inside keys
+========================== ==================================================
+"""
+
+from . import cache_key  # noqa: F401
+from . import lock_guard  # noqa: F401
+from . import nondet_key  # noqa: F401
+from . import pickle_safety  # noqa: F401
+from . import unordered_iteration  # noqa: F401

@@ -1,0 +1,204 @@
+"""``python -m repro.analysis`` / ``repro-analyze`` — the analyzer CLI.
+
+Exit-code contract (stable; CI and pre-commit hooks rely on it):
+
+* ``0`` — no unsuppressed, unbaselined findings (clean run),
+* ``1`` — at least one new finding,
+* ``2`` — usage or parse error (bad rule name, unreadable baseline, …).
+
+Output formats (``--format``):
+
+* ``text`` (default) — ``path:line:col: rule: message`` per finding plus a
+  summary line; human- and editor-friendly.
+* ``json`` — a single JSON object with ``findings``/``suppressed``/
+  ``baselined`` arrays and counts; machine-readable for tooling.
+* ``github`` — GitHub Actions workflow annotations
+  (``::error file=...,line=...::message``), so findings surface inline on
+  the PR diff in the ``static-analysis`` CI gate.
+
+Suppression and baseline workflow: annotate intentional violations in place
+with ``# repro: allow-<rule> -- why`` (same line or the line above); park
+legacy findings with ``--write-baseline`` and shrink the file over time —
+``--prune-baseline`` rewrites it dropping entries that no longer match.
+Run ``--list-rules`` to see every rule and the dynamic test backing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .core import (
+    AnalysisResult,
+    Finding,
+    all_checkers,
+    build_project,
+    run_checkers,
+)
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _github_escape(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _emit_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_checked: int,
+    out,
+) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    summary = (
+        f"{len(findings)} finding(s), {len(suppressed)} suppressed, "
+        f"{len(baselined)} baselined across {files_checked} file(s)"
+    )
+    print(summary, file=out)
+
+
+def _emit_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baselined: Sequence[Finding],
+    files_checked: int,
+    out,
+) -> None:
+    def encode(items: Sequence[Finding]) -> list[dict]:
+        return [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in items
+        ]
+
+    payload = {
+        "findings": encode(findings),
+        "suppressed": encode(suppressed),
+        "baselined": encode(baselined),
+        "files_checked": files_checked,
+        "counts": {
+            "findings": len(findings),
+            "suppressed": len(suppressed),
+            "baselined": len(baselined),
+        },
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _emit_github(findings: Sequence[Finding], out) -> None:
+    for f in findings:
+        print(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=repro.analysis {f.rule}::{_github_escape(f.message)}",
+            file=out,
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Static analysis enforcing this repo's determinism, cache-key, "
+            "and concurrency invariants."
+        ),
+        epilog=(
+            "suppress a finding in place with '# repro: allow-<rule>' on the "
+            "offending line (or the line above); park legacy findings with "
+            "--write-baseline and prune them as they are fixed. "
+            "Exit codes: 0 clean, 1 findings, 2 usage/parse error."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to analyze (default: src tests)")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", help="output format (default: text)")
+    parser.add_argument("--select", action="append", metavar="RULE",
+                        help="run only these rule(s); repeatable")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline dropping stale entries")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and their dynamic backstops")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    try:
+        checkers = all_checkers(args.select)
+    except KeyError as exc:
+        print(f"repro-analyze: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.list_rules:
+        for checker in checkers:
+            print(f"{checker.rule}: {checker.description}", file=out)
+            if checker.dynamic_backstop:
+                print(f"    backstop: {checker.dynamic_backstop}", file=out)
+        return EXIT_CLEAN
+
+    project, parse_errors = build_project(args.paths)
+    if not project.files and not parse_errors:
+        print("repro-analyze: no Python files found under: "
+              + " ".join(args.paths), file=sys.stderr)
+        return EXIT_ERROR
+
+    result: AnalysisResult = run_checkers(project, checkers)
+    findings = list(result.findings)
+
+    try:
+        baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    except (ValueError, OSError) as exc:
+        print(f"repro-analyze: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        Baseline.from_findings(project, findings).save(args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}", file=out)
+        return EXIT_CLEAN
+
+    new, baselined = baseline.split(project, findings)
+    new = sorted(parse_errors, key=Finding.sort_key) + new
+
+    if args.prune_baseline and not args.no_baseline:
+        stale = baseline.stale_entries(project, findings)
+        if stale:
+            keep = [e for e in baseline.entries if e not in stale]
+            Baseline(keep).save(args.baseline)
+            print(f"pruned {len(stale)} stale baseline entr(ies)", file=out)
+
+    if args.format == "json":
+        _emit_json(new, result.suppressed, baselined, result.files_checked, out)
+    elif args.format == "github":
+        _emit_github(new, out)
+        print(f"{len(new)} finding(s), {len(baselined)} baselined", file=out)
+    else:
+        _emit_text(new, result.suppressed, baselined, result.files_checked, out)
+
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -42,6 +42,13 @@ def plan_key(
     into ``Plan.columnar_ok`` / ``Plan.columnar_reason`` — executors with
     different gating settings sharing one cache must never exchange plans
     whose engine routing was decided under the other setting.
+
+    Completeness is enforced statically: the ``cache-key-field`` rule of
+    ``repro.analysis`` cross-references the flags ``Executor.__init__``
+    forwards into ``Planner(...)`` against this signature and every call
+    site, so adding a planner flag without threading it here fails the CI
+    ``static-analysis`` gate (dynamic counterpart:
+    ``tests/test_planner.py::test_every_planner_flag_partitions_the_plan_cache``).
     """
     return (fingerprint, allow_reorder, order_insensitive, columnar_subqueries)
 

@@ -345,10 +345,13 @@ class InterfaceMapper:
             "wcover",
             tuple(clist),
             tuple(
+                # identity key by design: the memo value pins cands and the
+                # cost model alive (see docstring)
+                # repro: allow-nondeterministic-key -- identity key by design
                 (cid, tuple((t_idx, id(cand)) for t_idx, cand in cands))
                 for cid, cands in sorted(wcand.items())
             ),
-            id(self.cost_model),
+            id(self.cost_model),  # repro: allow-nondeterministic-key -- pinned above
             self.config.top_k,
         )
         hit, value = self._memo_lookup(key)
@@ -436,6 +439,9 @@ class InterfaceMapper:
         cm_cache: dict[frozenset[int], float] = {}
 
         def current_cm(interactions: list[InteractionCandidate]) -> float:
+            # the cache is local to this _search_m call and the candidate
+            # objects outlive every entry, so identity keys cannot go stale
+            # repro: allow-nondeterministic-key -- call-local identity cache
             key = frozenset(id(c) for c in interactions)
             if key in cm_cache:
                 return cm_cache[key]

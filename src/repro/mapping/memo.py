@@ -30,7 +30,11 @@ misses instead of producing covers that no longer match.
 Like the plan cache, entries are partitioned per *catalogue object* (schemas
 and candidates embed catalogue statistics) and held through weak references,
 LRU-bounded per catalogue, and guarded by one lock so parallel search workers
-can share a single memo.
+can share a single memo.  The ``unlocked-shared-mutation`` rule of
+``repro.analysis`` statically requires every mutation of the bookkeeping to
+hold that lock; the ``nondeterministic-key`` rule polices what may appear in
+``tree_key`` (the sanctioned identity-keyed widget-cover entries carry
+justified ``# repro: allow-…`` pragmas in ``mapper.py``).
 """
 
 from __future__ import annotations

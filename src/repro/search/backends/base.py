@@ -63,6 +63,10 @@ class RewardTable:
     Workers consult the table before evaluating any state; new rewards are
     buffered per worker and merged here only at synchronization barriers, so
     lookups during a round always observe the previous round's snapshot.
+
+    Lock discipline is enforced statically: the ``unlocked-shared-mutation``
+    rule of ``repro.analysis`` requires every mutation of this class's
+    bookkeeping to sit inside a ``with self._lock:`` block.
     """
 
     def __init__(self) -> None:

@@ -580,6 +580,27 @@ def test_columnar_subqueries_kill_switch_restores_blanket_gate():
     assert relaxed_ex.stats.columnar_plan_gated == 0
 
 
+def test_every_planner_flag_partitions_the_plan_cache():
+    """Dynamic counterpart of the `cache-key-field` static rule: executors
+    differing in any single planner flag never exchange cached plans."""
+    sql = (
+        "SELECT a.total FROM sales as a, sales as b "
+        "WHERE a.product = b.product ORDER BY a.total"
+    )
+    base = dict(allow_reorder=True, order_insensitive=False, columnar_subqueries=True)
+    for flag in sorted(base):
+        cache = PlanCache()
+        flipped = dict(base)
+        flipped[flag] = not flipped[flag]
+        first = Executor(CATALOG, enable_cache=False, plan_cache=cache, **base)
+        second = Executor(CATALOG, enable_cache=False, plan_cache=cache, **flipped)
+        first.execute_sql(sql)
+        second.execute_sql(sql)
+        # a shared key would let the second executor hit the first's plan
+        assert second.stats.plans_compiled > 0, flag
+        assert cache.size(CATALOG) == first.stats.plans_compiled + second.stats.plans_compiled, flag
+
+
 def test_grouped_subquery_gets_static_schema_and_hash_join():
     """Aggregate / GROUP BY FROM subqueries now derive their schema
     statically, so they participate in hash joins like a base scan."""
