@@ -10,6 +10,7 @@ rule                        guards
 ``unlocked-shared-mutation`` lock discipline of shared caches and globals
 ``unpicklable-worker-state`` process-backend worker-spec pickle safety
 ``nondeterministic-key``    id()/hash()/env/time values inside keys
+``shm-lifecycle``           shared-memory segments released by an owner
 ========================== ==================================================
 """
 
@@ -17,4 +18,5 @@ from . import cache_key  # noqa: F401
 from . import lock_guard  # noqa: F401
 from . import nondet_key  # noqa: F401
 from . import pickle_safety  # noqa: F401
+from . import shm_lifecycle  # noqa: F401
 from . import unordered_iteration  # noqa: F401

@@ -1,0 +1,174 @@
+"""``shm-lifecycle``: shared-memory segments need an owner that cleans up.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment is a *system*
+resource: unlike ordinary objects it survives the creating process unless
+someone calls ``close()`` (drop this process's mapping) and — for the owner
+— ``unlink()`` (remove the segment).  A creation site with no reachable
+cleanup leaks ``/dev/shm`` space on every crash, which is exactly the
+failure mode the service's catalogue registry must never have
+(:mod:`repro.service.shm`).
+
+The rule flags every ``SharedMemory(...)`` construction unless one of the
+sanctioned ownership patterns is visible:
+
+* **scoped** — the enclosing function reaches ``.close()`` / ``.unlink()``
+  from a ``try``/``finally`` (or an ``except`` handler that cleans up the
+  partially-created segment before re-raising);
+* **class-managed** — the creation happens in a method of a class whose
+  ``close()`` / ``__exit__`` / ``__del__`` / ``weakref.finalize`` callback
+  performs the cleanup (the registry pattern: segments stored on ``self``,
+  released by the owner's ``close``);
+* **ownership transfer** — the segment is immediately ``return``-ed, handing
+  the cleanup obligation to the caller (e.g. an attach helper wrapped in
+  the caller's ``try``/``finally``).
+
+Everything else is a finding.  Suppress intentional exceptions with
+``# repro: allow-shm-lifecycle -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Checker, FileContext, Finding, register
+
+_CLEANUP_ATTRS = {"close", "unlink"}
+_CLASS_CLEANUP_METHODS = {"close", "__exit__", "__del__"}
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    """True for ``SharedMemory(...)`` / ``shared_memory.SharedMemory(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _mentions_cleanup(nodes: Iterable[ast.AST]) -> bool:
+    """True when any node calls ``.close()`` or ``.unlink()``."""
+    for root in nodes:
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CLEANUP_ATTRS
+            ):
+                return True
+    return False
+
+
+def _function_has_scoped_cleanup(func: ast.AST) -> bool:
+    """A ``finally`` or ``except`` block in the function performs cleanup."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            if node.finalbody and _mentions_cleanup(node.finalbody):
+                return True
+            if node.handlers and _mentions_cleanup(node.handlers):
+                return True
+    return False
+
+
+def _class_has_managed_cleanup(cls: ast.ClassDef) -> bool:
+    """The class releases segments in close/__exit__/__del__ or a finalizer."""
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name in _CLASS_CLEANUP_METHODS
+            and _mentions_cleanup([stmt])
+        ):
+            return True
+    # weakref.finalize(self, <callback>, ...) registered anywhere in the
+    # class counts when the callback is a method/function of this class
+    # that performs cleanup
+    finalize_targets: set[str] = set()
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "finalize"
+            and len(node.args) >= 2
+        ):
+            callback = node.args[1]
+            if isinstance(callback, ast.Attribute):
+                finalize_targets.add(callback.attr)
+            elif isinstance(callback, ast.Name):
+                finalize_targets.add(callback.id)
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name in finalize_targets
+            and _mentions_cleanup([stmt])
+        ):
+            return True
+    return False
+
+
+def _is_direct_return(creation: ast.Call, func: ast.AST) -> bool:
+    """The creation is ``return SharedMemory(...)`` — ownership transfers."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is creation:
+            return True
+    return False
+
+
+@register
+class ShmLifecycleChecker(Checker):
+    rule = "shm-lifecycle"
+    description = (
+        "SharedMemory segments must be released via try/finally (or except "
+        "cleanup), an owning class's close/__exit__/finalizer, or returned "
+        "to a caller that does"
+    )
+    dynamic_backstop = (
+        "tests/test_service.py shared-memory registry lifecycle tests "
+        "(segments unlinked after close; attach never unlinks)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        # walk with an explicit scope stack so each creation site knows its
+        # enclosing function and class
+        self._visit(ctx, ctx.tree, None, None, findings)
+        return findings
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        func: Optional[ast.AST],
+        cls: Optional[ast.ClassDef],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node
+        elif isinstance(node, ast.ClassDef):
+            cls, func = node, None
+        if _is_shared_memory_call(node):
+            sanctioned = (
+                func is not None
+                and (
+                    _function_has_scoped_cleanup(func)
+                    or _is_direct_return(node, func)
+                )
+            ) or (cls is not None and _class_has_managed_cleanup(cls))
+            if not sanctioned:
+                where = (
+                    f"in {getattr(func, 'name', '<module>')}" if func else "at module level"
+                )
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"SharedMemory created {where} without a matching "
+                        "close()/unlink() in a finally/except block, an "
+                        "owning class close/__exit__/finalizer, or a direct "
+                        "ownership-transferring return",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, func, cls, findings)

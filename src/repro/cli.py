@@ -15,6 +15,13 @@ Examples::
 
     # inspect a workload's queries
     python -m repro show --workload sales
+
+    # repeat generations over a warm worker pool with cross-run persistence
+    python -m repro generate --workload covid --backend process --pool \
+                             --repeat 3 --cache-dir ~/.cache/pi2
+
+    # serve queued generation requests (JSON lines on stdin or a file)
+    echo '{"workload": "covid"}' | python -m repro serve --backend process
 """
 
 from __future__ import annotations
@@ -79,6 +86,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the Yi et al. interaction-taxonomy classification",
     )
+    gen.add_argument(
+        "--pool",
+        action="store_true",
+        help="run through the persistent generation service: workers stay "
+        "alive across --repeat runs (spawn + warm-up paid once)",
+    )
+    gen.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="generate this many times (with --pool, repeats reuse the warm "
+        "pool and the reward table; default 1)",
+    )
+    gen.add_argument(
+        "--cache-dir",
+        help="persist the reward table / plan cache / mapping memo under "
+        "this directory and reload them on later runs (keyed by catalogue, "
+        "workload and config fingerprints)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queued generation requests over one warm worker pool",
+    )
+    serve.add_argument(
+        "--requests",
+        help="file of JSON-lines requests ({\"workload\": name} or "
+        "{\"queries\": [...]}); default: read from stdin",
+    )
+    serve.add_argument("--config", choices=["fast", "paper"], default="fast")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default=None
+    )
+    serve.add_argument("--cache-dir", help="cross-run cache persistence directory")
 
     sub.add_parser("list-workloads", help="list the built-in evaluation workloads")
 
@@ -104,8 +148,7 @@ def _load_queries(args) -> list[str]:
     return queries
 
 
-def _command_generate(args) -> int:
-    queries = _load_queries(args)
+def _build_config(args) -> PipelineConfig:
     config = (
         PipelineConfig.paper_defaults(seed=args.seed)
         if args.config == "paper"
@@ -115,10 +158,38 @@ def _command_generate(args) -> int:
         config.search.workers = max(1, args.workers)
     if args.backend is not None:
         config.search.backend = args.backend
+    if getattr(args, "cache_dir", None):
+        config.cache_dir = args.cache_dir
+    return config
+
+
+def _command_generate(args) -> int:
+    queries = _load_queries(args)
+    config = _build_config(args)
     catalog = standard_catalog(seed=args.seed, scale=args.scale)
+    repeats = max(1, args.repeat)
 
     print(f"generating an interface from {len(queries)} queries …", file=sys.stderr)
-    result = generate_interface(queries, catalog=catalog, config=config)
+    if args.pool:
+        from .service import GenerationService
+
+        with GenerationService(
+            catalog=catalog, config=config, cache_dir=args.cache_dir
+        ) as service:
+            for run in range(repeats):
+                result = service.generate(queries)
+                print(
+                    f"request {run + 1}/{repeats}: {service.requests[-1].summary()}",
+                    file=sys.stderr,
+                )
+    else:
+        for run in range(repeats):
+            result = generate_interface(queries, catalog=catalog, config=config)
+            if repeats > 1:
+                print(
+                    f"request {run + 1}/{repeats}: {result.total_seconds:.3f}s",
+                    file=sys.stderr,
+                )
     interface = result.interface
 
     print(interface.describe())
@@ -158,6 +229,12 @@ def _search_summary(stats, executor_stats=None) -> str:
         f"states-evaluated={stats.states_evaluated} "
         f"reward-table-hits={stats.reward_table_hits}"
     )
+    if stats.pool is not None:
+        # pool-served request: make warm/cold behaviour observable without
+        # reading JSON stats — warm requests show the preloaded table size
+        line += (
+            f" pool={stats.pool} reward_table_loaded={stats.reward_table_loaded}"
+        )
     if stats.warmup_seconds:
         line += f" warmup={stats.warmup_seconds:.2f}s"
     if executor_stats is not None:
@@ -177,6 +254,78 @@ def _search_summary(stats, executor_stats=None) -> str:
             # (final mapping + any serial work) is visible here
             line += " [parent process only; worker stats not merged]"
     return line
+
+
+def _command_serve(args) -> int:
+    """Multiplex queued generation requests over one persistent service.
+
+    Requests are JSON lines — ``{"workload": "covid"}`` or ``{"queries":
+    ["SELECT …", …]}`` — read from ``--requests`` or stdin.  Each reply is a
+    JSON line with the request's warm/cold stats; a final summary line
+    reports the whole session.
+    """
+    from .service import GenerationService
+
+    config = _build_config(args)
+    catalog = standard_catalog(seed=args.seed, scale=args.scale)
+
+    if args.requests:
+        handle = open(args.requests, "r", encoding="utf-8")
+    else:
+        handle = sys.stdin
+    served = failed = 0
+    try:
+        with GenerationService(
+            catalog=catalog, config=config, cache_dir=args.cache_dir
+        ) as service:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    request = json.loads(line)
+                    if "workload" in request:
+                        result = service.generate_workload(request["workload"])
+                    elif "queries" in request:
+                        result = service.generate(request["queries"])
+                    else:
+                        raise ValueError(
+                            "request needs a 'workload' or 'queries' field"
+                        )
+                except Exception as exc:
+                    failed += 1
+                    print(
+                        json.dumps({"line": lineno, "error": str(exc)}),
+                        flush=True,
+                    )
+                    continue
+                served += 1
+                stats = service.requests[-1]
+                print(
+                    json.dumps(
+                        {
+                            "line": lineno,
+                            "pool": stats.pool,
+                            "backend": stats.backend,
+                            "seconds": round(stats.seconds, 4),
+                            "warmup_seconds": round(stats.warmup_seconds, 4),
+                            "reward_table_loaded": stats.reward_table_loaded,
+                            "reward_table_hits": stats.reward_table_hits,
+                            "cost": result.cost,
+                            "views": len(result.interface.views),
+                        }
+                    ),
+                    flush=True,
+                )
+            warm = sum(1 for r in service.requests if r.pool == "warm")
+            print(
+                f"served {served} request(s) ({warm} warm), {failed} failed",
+                file=sys.stderr,
+            )
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    return 0 if failed == 0 else 1
 
 
 def _command_list_workloads() -> int:
@@ -203,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return _command_generate(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "list-workloads":
         return _command_list_workloads()
     if args.command == "show":

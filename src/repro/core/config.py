@@ -32,6 +32,13 @@ class PipelineConfig:
     #: deterministically refactor the clustered Difftrees to a fixpoint
     #: (Figure 12's canonical Merge → PushANY → ANY→VAL sequence) before MCTS
     initial_refactor: bool = True
+    #: directory for cross-run cache persistence: when set, the reward
+    #: table, plan cache and mapping memo are loaded before the search and
+    #: saved after it, keyed by (catalogue fingerprint, workload fingerprint,
+    #: reward-relevant config fingerprint) — see :mod:`repro.service.persist`.
+    #: Rewards are pure functions of (seed, state), so reloads change cost,
+    #: never results
+    cache_dir: Optional[str] = None
 
     def replace(self, **kwargs) -> "PipelineConfig":
         data = {**self.__dict__}

@@ -20,6 +20,7 @@ so every backend runs the same reward code against the same catalogue.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import random
 import time
@@ -131,20 +132,29 @@ def build_reward_setup(
 
 
 def make_reward_fn(
-    setup: RewardSetup, config: PipelineConfig, worker_index: int
+    setup: RewardSetup, config: PipelineConfig, worker_index: int = 0
 ) -> RewardFn:
-    """The per-worker reward estimator (K random mappings, reward = −min cost).
+    """The reward estimator (K random mappings, reward = −min cost).
 
-    Each worker draws its random mappings from its own RNG stream: a stream
-    shared across workers would couple their trajectories to the round
-    scheduling order, and the backends guarantee byte-identical results
-    precisely because no such coupling exists.
+    A state's reward is a *pure function* of ``(config.seed, state)``: the K
+    random mappings are drawn from a throwaway RNG seeded by hashing the
+    seed with the state's structural fingerprint.  Purity is what makes the
+    whole caching hierarchy value-neutral — a reward-table hit (same round,
+    another worker, a previous request on a warm pool, or a persisted cache
+    file reloaded in a fresh process) returns exactly the value this function
+    would have computed, so caching changes cost, never trajectories, and
+    which worker evaluates a state first cannot matter.  ``worker_index`` is
+    kept for the worker-spec build signature but no longer affects rewards.
     """
-    reward_rng = random.Random(config.seed + 101 + worker_index * 9973)
     reward_mapper = setup.reward_mapper
     mappings = config.search.reward_mappings
+    seed = config.seed
 
     def reward_fn(state: SearchState) -> float:
+        digest = hashlib.sha256(
+            f"{seed}|{state.trees_fingerprint()}".encode("utf-8")
+        ).digest()
+        reward_rng = random.Random(int.from_bytes(digest[:8], "big"))
         interfaces = reward_mapper.random_interfaces(
             state.trees, mappings, reward_rng
         )
@@ -222,10 +232,33 @@ def _process_spec_for(
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class GenerationRuntime:
+    """Execution context a long-lived generation service threads through
+    :func:`generate_interface`.
+
+    One-shot callers never build one — every field has a cold default.  The
+    service (:mod:`repro.service.service`) uses it to (a) run the search on
+    a live :class:`~repro.service.pool.WorkerPool` backend instead of
+    spawning fresh workers, (b) hand in the per-(catalogue, workload) reward
+    table it keeps across requests, and (c) label the request's
+    :class:`~repro.search.config.SearchStats` as pool-warm or pool-cold.
+    """
+
+    #: a live backend instance (e.g. a pooled process backend) to run the
+    #: search on; ``None`` selects the configured backend by name
+    backend_instance: Optional[object] = None
+    #: pre-populated cross-worker reward table carried across requests
+    reward_table: Optional[object] = None
+    #: ``"warm"`` / ``"cold"`` pool state for the request's stats
+    pool: Optional[str] = None
+
+
 def generate_interface(
     queries: Sequence[QueryLike],
     catalog: Optional[Catalog] = None,
     config: Optional[PipelineConfig] = None,
+    runtime: Optional[GenerationRuntime] = None,
 ) -> PipelineResult:
     """Generate the lowest-cost interactive interface for a query sequence.
 
@@ -235,6 +268,9 @@ def generate_interface(
         catalog: the database catalogue to run against; defaults to the
             synthetic catalogue containing every table the paper uses.
         config: pipeline configuration; defaults to the paper's defaults.
+        runtime: execution context threaded in by the generation service
+            (warm worker pool, carried-over reward table); ``None`` runs the
+            one-shot cold path.
 
     Returns:
         A :class:`PipelineResult` whose ``interface`` is the generated
@@ -242,9 +278,32 @@ def generate_interface(
     """
     config = config or PipelineConfig()
     catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
+    runtime = runtime or GenerationRuntime()
     asts = parse_queries(queries)
     setup = build_reward_setup(catalog, asts, config)
     executor = setup.executor
+
+    # cross-run cache persistence: reload previously explored states keyed by
+    # (catalogue, workload, reward-relevant config) before the search starts,
+    # and save the extended state afterwards.  Imported via a function-level
+    # import so the core pipeline has no hard dependency on the service layer
+    reward_table = runtime.reward_table
+    cache_store = cache_key = None
+    if config.cache_dir is not None:
+        from ..search.backends.base import RewardTable
+        from ..service.persist import CacheStore, persistence_key
+
+        cache_store = CacheStore(config.cache_dir)
+        cache_key = persistence_key(catalog, asts, config)
+        if reward_table is None:
+            reward_table = RewardTable()
+        if reward_table.size() == 0:
+            bundle = cache_store.load(cache_key)
+            if bundle is not None:
+                reward_table.seed(bundle.rewards)
+                SHARED_PLAN_CACHE.import_entries(catalog, bundle.plans)
+                if setup.memo is not None:
+                    setup.memo.import_entries(catalog, bundle.memo)
 
     total_start = time.perf_counter()
 
@@ -281,8 +340,12 @@ def generate_interface(
         engine_factory=engine_factory,
         reward_factory=reward_factory,
         process_spec=_process_spec_for(catalog, asts, config),
+        reward_table=reward_table,
+        backend_instance=runtime.backend_instance,
     )
     search_seconds = time.perf_counter() - search_start
+    if runtime.pool is not None:
+        result.stats.pool = runtime.pool
 
     # step 3: exhaustive interface mapping on the best state (Algorithm 1)
     mapper = setup.mapper
@@ -296,6 +359,19 @@ def generate_interface(
             "contain queries whose results violate every chart's constraints"
         )
     interface = candidates[0]
+
+    # persist *after* Algorithm 1 so the saved bundle also carries the final
+    # mapping's fragments, not just the reward loop's
+    if cache_store is not None and reward_table is not None:
+        memo_entries = (
+            setup.memo.export_entries(catalog) if setup.memo is not None else []
+        )
+        cache_store.save(
+            cache_key,
+            rewards=reward_table.snapshot(),
+            plans=SHARED_PLAN_CACHE.export_entries(catalog),
+            memo=memo_entries,
+        )
 
     return PipelineResult(
         interface=interface,
@@ -312,7 +388,10 @@ def generate_interface(
 
 
 def generate_for_workload(
-    workload, catalog: Optional[Catalog] = None, config: Optional[PipelineConfig] = None
+    workload,
+    catalog: Optional[Catalog] = None,
+    config: Optional[PipelineConfig] = None,
+    runtime: Optional[GenerationRuntime] = None,
 ) -> PipelineResult:
     """Convenience wrapper: generate the interface for a named workload."""
     from ..workloads.logs import Workload, get_workload
@@ -320,7 +399,9 @@ def generate_for_workload(
     if isinstance(workload, str):
         workload = get_workload(workload)
     assert isinstance(workload, Workload)
-    return generate_interface(list(workload.queries), catalog=catalog, config=config)
+    return generate_interface(
+        list(workload.queries), catalog=catalog, config=config, runtime=runtime
+    )
 
 
 def best_static_interface(

@@ -113,6 +113,38 @@ class PlanCache:
                 "misses": self.misses,
             }
 
+    def export_entries(self, catalog: "Catalog") -> list[tuple]:
+        """The catalogue's ``(key, plan)`` pairs, LRU order (for persistence).
+
+        Plans reference tables by *name* and embed only statistics derived
+        from the catalogue's data, so entries exported here are valid for —
+        and may be :meth:`import_entries`-ed into — any catalogue with the
+        same content fingerprint (see :mod:`repro.service.fingerprint`).
+        """
+        with self._lock:
+            plans = self._by_catalog.get(catalog)
+            return list(plans.items()) if plans else []
+
+    def import_entries(self, catalog: "Catalog", entries: list[tuple]) -> int:
+        """Plant exported entries for a same-fingerprint catalogue.
+
+        Existing keys are kept (the live entry is never older than the
+        persisted one); returns the number of entries actually added.
+        """
+        added = 0
+        with self._lock:
+            plans = self._by_catalog.get(catalog)
+            if plans is None:
+                plans = OrderedDict()
+                self._by_catalog[catalog] = plans
+            for key, plan in entries:
+                if key not in plans:
+                    plans[key] = plan
+                    added += 1
+            while len(plans) > self.max_size:
+                plans.popitem(last=False)
+        return added
+
 
 #: The process-wide cache used by every :class:`Executor` unless a private
 #: one is passed in.  All MCTS workers, the interface runtime, and benchmark

@@ -72,6 +72,31 @@ class Table:
         return table
 
     @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Sequence[Column],
+        col_data: Sequence[list],
+    ) -> "Table":
+        """Build a table directly from per-column value lists.
+
+        The lists are adopted, not copied — this is the shared-memory
+        catalogue attach path (:mod:`repro.service.shm`), which decodes each
+        column once from its segment and must not pay a second copy.
+        """
+        table = cls(name, columns)
+        if len(col_data) != len(table.columns):
+            raise ValueError(
+                f"column data width {len(col_data)} does not match table "
+                f"{name!r} width {len(table.columns)}"
+            )
+        lengths = {len(col) for col in col_data}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged column data for table {name!r}: {lengths}")
+        table._cols = [list(col) if not isinstance(col, list) else col for col in col_data]
+        return table
+
+    @classmethod
     def from_dicts(cls, name: str, records: Sequence[dict]) -> "Table":
         """Build a table from a list of dictionaries, inferring column types."""
         if not records:

@@ -111,6 +111,51 @@ class MappingMemo:
                 "misses": self.misses,
             }
 
+    #: fragment kinds safe to persist across processes: their keys are built
+    #: from structural fingerprints + node ids that travel with the trees.
+    #: Identity-keyed entries (the sanctioned ``id(widget)``-keyed
+    #: widget-cover kinds in ``mapper.py``) are process-local by construction
+    #: — a recycled ``id()`` in another process would alias garbage — and are
+    #: therefore never exported.
+    PERSISTABLE_KINDS = frozenset({"schema", "vis", "widgets", "targets", "ipair"})
+
+    def export_entries(self, catalog: "Catalog") -> list[tuple]:
+        """The catalogue's persistable ``(key, fragment)`` pairs, LRU order."""
+        with self._lock:
+            fragments = self._by_catalog.get(catalog)
+            if not fragments:
+                return []
+            return [
+                (key, value)
+                for key, value in fragments.items()
+                if isinstance(key, tuple) and key and key[0] in self.PERSISTABLE_KINDS
+            ]
+
+    def import_entries(self, catalog: "Catalog", entries: list[tuple]) -> int:
+        """Plant exported fragments for a same-fingerprint catalogue.
+
+        Existing keys are kept; non-persistable kinds are dropped even if a
+        tampered cache file smuggles them in.  Returns the number of entries
+        actually added.
+        """
+        added = 0
+        with self._lock:
+            fragments = self._by_catalog.get(catalog)
+            if fragments is None:
+                fragments = OrderedDict()
+                self._by_catalog[catalog] = fragments
+            for key, value in entries:
+                if not (
+                    isinstance(key, tuple) and key and key[0] in self.PERSISTABLE_KINDS
+                ):
+                    continue
+                if key not in fragments:
+                    fragments[key] = value
+                    added += 1
+            while len(fragments) > self.max_size:
+                fragments.popitem(last=False)
+        return added
+
 
 #: The process-wide memo used by every :class:`InterfaceMapper` whose config
 #: has ``memoize=True`` (the default), unless a private memo is passed in.

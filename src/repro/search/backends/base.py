@@ -110,6 +110,11 @@ class RewardTable:
         with self._lock:
             return len(self._rewards)
 
+    def snapshot(self) -> dict[str, float]:
+        """A copy of the fingerprint → reward entries (for persistence)."""
+        with self._lock:
+            return dict(self._rewards)
+
     def info(self) -> dict:
         with self._lock:
             return {
@@ -159,6 +164,11 @@ class SearchJob:
     mapping_memo: Optional["MappingMemo"] = None
     #: picklable worker recipe enabling the process backend
     process_spec: Optional[ProcessWorkerSpec] = None
+    #: pre-populated cross-worker reward table (persisted-cache reloads and
+    #: warm generation-service pools hand one in so previously explored
+    #: states are answered from the table instead of re-evaluated); backends
+    #: use it as *the* shared table when ``config.shared_rewards`` is on
+    reward_table: Optional[RewardTable] = None
 
     def engine_for(self, worker_index: int) -> "TransformEngine":
         if self.engine_factory is not None:

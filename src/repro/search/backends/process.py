@@ -14,7 +14,9 @@ coordinator → worker      meaning
 ``("round", n, adopt,     run ``n`` iterations; ``adopt`` is ``(state bytes,
   reward, delta)``        reward)`` of the global best or ``None``; ``delta``
                           is the reward-table entries merged last round
-``("finish",)``           send final state + stats and exit
+``("finish",)``           send final state + stats and exit (one-shot
+                          workers) or return to idle (pooled workers, see
+                          :mod:`repro.service.pool`)
 ========================  ===================================================
 
 ========================  ===================================================
@@ -30,9 +32,18 @@ worker → coordinator      meaning
 ``("error", repr)``       an exception escaped the worker loop
 ========================  ===================================================
 
+The ``round``/``sync``/``finish`` core of the protocol is factored into
+:func:`serve_search` (worker side) and :func:`drive_search` (coordinator
+side) so the long-lived generation service (:mod:`repro.service.pool`) can
+keep worker processes alive across searches: a pooled worker runs
+:func:`serve_search` once per task and then idles for the next one instead
+of tearing down, which is what lets repeat generations skip process spawn
+and per-process cache warm-up entirely.
+
 The protocol is deterministic for a fixed seed / worker count: reward deltas
 merge in worker order at barriers, each worker draws node ids from its own id
-space and rewards from its own RNG stream, so the trajectories are the same
+space, and rewards are a pure function of (seed, state fingerprint) — see
+:func:`repro.core.pipeline.make_reward_fn` — so the trajectories are the same
 ones the serial backend produces for the same configuration.
 """
 
@@ -42,7 +53,7 @@ import multiprocessing
 import os
 import pickle
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from ...difftree.nodes import worker_id_counter
 from ..config import SearchConfig, SearchStats
@@ -61,20 +72,109 @@ from .base import (
     round_sizes,
 )
 
+#: Environment override for the multiprocessing start method.
+MP_START_ENV_VAR = "REPRO_MP_START"
+
 
 def _mp_context():
     """The multiprocessing start method: fork where available (fast, no
-    re-import), spawn otherwise; ``REPRO_MP_START`` overrides."""
-    method = os.environ.get("REPRO_MP_START")
+    re-import), spawn otherwise; ``REPRO_MP_START`` overrides.
+
+    The override is validated against the platform's supported methods so a
+    typo (``REPRO_MP_START=frok``) fails with an actionable error instead of
+    leaking an arbitrary string into ``multiprocessing.get_context``.
+    """
+    method = os.environ.get(MP_START_ENV_VAR)
     if method:
+        method = method.strip().lower()
+        allowed = multiprocessing.get_all_start_methods()
+        if method not in allowed:
+            raise ValueError(
+                f"invalid {MP_START_ENV_VAR}={method!r}: allowed start "
+                f"methods on this platform are {', '.join(sorted(allowed))}"
+            )
         return multiprocessing.get_context(method)
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context("spawn")
 
 
+def expect_reply(conn, kind: str):
+    """Receive the next worker message, unwrapping ``error`` replies."""
+    reply = conn.recv()
+    if reply[0] == "error":
+        raise RuntimeError(f"search worker process failed: {reply[1]}")
+    if reply[0] != kind:  # pragma: no cover - defensive
+        raise RuntimeError(f"expected {kind!r} reply, got {reply[0]!r}")
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def serve_search(
+    conn,
+    worker: MCTSWorker,
+    table: Optional[RewardTable],
+    warmup_seconds: float,
+    cache_info: Callable[[], tuple[Optional[dict], Optional[dict]]],
+) -> None:
+    """Serve ``round`` messages for one search until ``finish``.
+
+    Shared by the one-shot worker main below and the pooled worker main in
+    :mod:`repro.service.pool` — the pooled variant calls this once per task
+    and then returns to its idle loop instead of exiting.
+    """
+    last_sent_fp: Optional[str] = None
+    while True:
+        message = conn.recv()
+        if message[0] == "round":
+            _, round_size, adopt_bytes, adopt_reward, delta = message
+            if table is not None and delta:
+                # entries the coordinator merged last round (including
+                # other workers' deltas) land in this replica before the
+                # round starts, mirroring the in-process backends
+                table.seed(delta)
+            if adopt_bytes is not None:
+                worker.adopt(load_state(adopt_bytes), adopt_reward)
+            for _ in range(round_size):
+                worker.run_iteration()
+            best_fp = worker.best_state.fingerprint()
+            state_bytes = None
+            if best_fp != last_sent_fp:
+                state_bytes = dump_state(worker.best_state)
+                last_sent_fp = best_fp
+            conn.send(
+                (
+                    "sync",
+                    best_fp,
+                    worker.best_reward,
+                    state_bytes,
+                    worker.take_pending_rewards(),
+                    worker.iterations_since_improvement,
+                )
+            )
+        elif message[0] == "finish":
+            stats = worker.stats
+            stats.backend = "process"
+            stats.warmup_seconds = warmup_seconds
+            plan_info, memo_info = cache_info()
+            stats.plan_cache = plan_info
+            stats.mapping_memo = memo_info
+            if table is not None:
+                stats.reward_table = table.info()
+            conn.send(
+                ("done", dump_state(worker.best_state), worker.best_reward, stats)
+            )
+            return
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown command {message[0]!r}")
+
+
 def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
-    """Entry point of one worker process."""
+    """Entry point of one one-shot worker process."""
     try:
         payload = pickle.loads(payload_bytes)
         spec = payload["spec"]
@@ -85,6 +185,11 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
         engine, reward_fn = spec.build(worker_index, config)
         initial = load_state(payload["initial_state"])
         table = RewardTable() if shared_rewards else None
+        if table is not None and payload.get("table_seed"):
+            # persisted rewards from an earlier run over the same
+            # (catalogue, workload): plant them before the initial-state
+            # evaluation so even a fresh process resumes warm
+            table.seed(payload["table_seed"])
         worker = MCTSWorker(
             initial,
             engine,
@@ -96,51 +201,7 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
         )
         warmup_seconds = time.perf_counter() - warmup_start
         conn.send(("ready", warmup_seconds))
-
-        last_sent_fp: Optional[str] = None
-        while True:
-            message = conn.recv()
-            if message[0] == "round":
-                _, round_size, adopt_bytes, adopt_reward, delta = message
-                if table is not None and delta:
-                    # entries the coordinator merged last round (including
-                    # other workers' deltas) land in this replica before the
-                    # round starts, mirroring the in-process backends
-                    table.seed(delta)
-                if adopt_bytes is not None:
-                    worker.adopt(load_state(adopt_bytes), adopt_reward)
-                for _ in range(round_size):
-                    worker.run_iteration()
-                best_fp = worker.best_state.fingerprint()
-                state_bytes = None
-                if best_fp != last_sent_fp:
-                    state_bytes = dump_state(worker.best_state)
-                    last_sent_fp = best_fp
-                conn.send(
-                    (
-                        "sync",
-                        best_fp,
-                        worker.best_reward,
-                        state_bytes,
-                        worker.take_pending_rewards(),
-                        worker.iterations_since_improvement,
-                    )
-                )
-            elif message[0] == "finish":
-                stats = worker.stats
-                stats.backend = "process"
-                stats.warmup_seconds = warmup_seconds
-                plan_info, memo_info = spec.cache_info()
-                stats.plan_cache = plan_info
-                stats.mapping_memo = memo_info
-                if table is not None:
-                    stats.reward_table = table.info()
-                conn.send(
-                    ("done", dump_state(worker.best_state), worker.best_reward, stats)
-                )
-                break
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown command {message[0]!r}")
+        serve_search(conn, worker, table, warmup_seconds, spec.cache_info)
     except Exception as exc:  # pragma: no cover - crash reporting path
         try:
             conn.send(("error", repr(exc)))
@@ -148,6 +209,126 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
             pass
     finally:
         conn.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+
+def drive_search(
+    connections: list,
+    config: SearchConfig,
+    table: Optional[RewardTable],
+) -> tuple[list, int, int, bool]:
+    """Drive the round / sync / finish protocol over live worker connections.
+
+    Returns ``(finals, total_iterations, sync_rounds, early_stopped)`` where
+    ``finals`` is each worker's ``("done", state, reward, stats)`` reply.
+    The caller owns the connections: the one-shot backend tears its workers
+    down afterwards, the pooled backend leaves them idling for the next task.
+    """
+    workers = len(connections)
+    states: dict[str, bytes] = {}  # best states seen, by fingerprint
+
+    total_iterations = 0
+    sync_rounds = 0
+    early_stopped = False
+    adopt: Optional[tuple[bytes, float]] = None
+    pending_delta: dict[str, float] = {}
+    for round_size in round_sizes(config):
+        for conn in connections:
+            conn.send(
+                (
+                    "round",
+                    round_size,
+                    adopt[0] if adopt is not None else None,
+                    adopt[1] if adopt is not None else 0.0,
+                    pending_delta,
+                )
+            )
+        syncs: list[WorkerSync] = []
+        for conn in connections:
+            _, fp, reward, state_bytes, pending, stale = expect_reply(conn, "sync")
+            if state_bytes is not None:
+                states[fp] = state_bytes
+            syncs.append(
+                WorkerSync(
+                    best_reward=reward,
+                    best_fingerprint=fp,
+                    pending_rewards=pending,
+                    iterations_since_improvement=stale,
+                )
+            )
+        total_iterations += round_size * workers
+        sync_rounds += 1
+        best_index, merged = merge_sync_round(syncs, table)
+        best_sync = syncs[best_index]
+        adopt = (states[best_sync.best_fingerprint], best_sync.best_reward)
+        pending_delta = merged
+        # retain only states that can still be adopted: best rewards
+        # are monotone per worker, so a fingerprint no worker
+        # currently reports as its best can never be reported again
+        current = {sync.best_fingerprint for sync in syncs}
+        states = {fp: b for fp, b in states.items() if fp in current}
+        if early_stop_after_adopt(syncs, best_sync.best_reward, config.early_stop):
+            early_stopped = True
+            break
+
+    for conn in connections:
+        conn.send(("finish",))
+    finals = [expect_reply(conn, "done") for conn in connections]
+    return finals, total_iterations, sync_rounds, early_stopped
+
+
+def finalize_search(
+    backend_name: str,
+    job: SearchJob,
+    finals: list,
+    warmups: list[float],
+    table: Optional[RewardTable],
+    total_iterations: int,
+    sync_rounds: int,
+    early_stopped: bool,
+    start: float,
+    warmup_wall: float,
+) -> ParallelSearchResult:
+    """Fold per-worker ``done`` replies into a :class:`ParallelSearchResult`."""
+    worker_stats: list[SearchStats] = [f[3] for f in finals]
+    for stats, warmup in zip(worker_stats, warmups):
+        stats.warmup_seconds = warmup
+    best = max(range(len(finals)), key=lambda w: finals[w][2])
+    best_state = load_state(finals[best][1])
+    best_reward = finals[best][2]
+
+    stats = aggregate_stats(
+        backend_name,
+        worker_stats,
+        worker_stats[best],
+        best_reward,
+        total_iterations,
+        sync_rounds,
+        early_stopped or any(w.early_stopped for w in worker_stats),
+        time.perf_counter() - start,
+        job,
+        # caches live in the worker processes; surface the best worker's
+        # snapshots as the aggregate view (per-worker stats carry the rest)
+        plan_cache_info=worker_stats[best].plan_cache,
+        mapping_memo_info=worker_stats[best].mapping_memo,
+        warmup_seconds=warmup_wall,
+    )
+    if table is not None:
+        # the lookups all happened against the worker replicas — fold
+        # their counters over the coordinator table's entry count so the
+        # snapshot means the same thing it does on serial / thread
+        stats.reward_table = {
+            "rewards": table.size(),
+            "hits": sum((w.reward_table or {}).get("hits", 0) for w in worker_stats),
+            "misses": sum(
+                (w.reward_table or {}).get("misses", 0) for w in worker_stats
+            ),
+        }
+    return ParallelSearchResult(best_state, best_reward, stats, worker_stats)
 
 
 class ProcessBackend:
@@ -166,6 +347,15 @@ class ProcessBackend:
         workers = max(1, config.workers)
         ctx = _mp_context()
 
+        # persisted rewards handed in by the caller (cache_dir runs) are
+        # shipped to every worker replica and pre-merged into the
+        # coordinator's authoritative table
+        table_seed = (
+            job.reward_table.snapshot()
+            if job.reward_table is not None and config.shared_rewards
+            else {}
+        )
+
         # one payload for all workers (the spec — catalogue included — is
         # pickled exactly once; only the worker index differs per process)
         payload = pickle.dumps(
@@ -174,6 +364,7 @@ class ProcessBackend:
                 "config": config,
                 "shared_rewards": config.shared_rewards,
                 "initial_state": dump_state(SearchState(job.initial_trees)),
+                "table_seed": table_seed,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -190,7 +381,7 @@ class ProcessBackend:
                 connections.append(parent_conn)
                 processes.append(process)
 
-            warmups = [self._expect(conn, "ready")[1] for conn in connections]
+            warmups = [expect_reply(conn, "ready")[1] for conn in connections]
             # wall-clock until every worker finished rebuilding + evaluating
             # the initial state (they warm concurrently); per-worker costs
             # are surfaced through the individual worker stats
@@ -199,61 +390,14 @@ class ProcessBackend:
             # the coordinator keeps the authoritative reward table; worker
             # replicas are refreshed with the merged delta of each round
             table: Optional[RewardTable] = (
-                RewardTable() if config.shared_rewards else None
+                job.reward_table
+                if job.reward_table is not None and config.shared_rewards
+                else (RewardTable() if config.shared_rewards else None)
             )
-            states: dict[str, bytes] = {}  # best states seen, by fingerprint
 
-            total_iterations = 0
-            sync_rounds = 0
-            early_stopped = False
-            adopt: Optional[tuple[bytes, float]] = None
-            pending_delta: dict[str, float] = {}
-            for round_size in round_sizes(config):
-                for conn in connections:
-                    conn.send(
-                        (
-                            "round",
-                            round_size,
-                            adopt[0] if adopt is not None else None,
-                            adopt[1] if adopt is not None else 0.0,
-                            pending_delta,
-                        )
-                    )
-                syncs: list[WorkerSync] = []
-                for conn in connections:
-                    _, fp, reward, state_bytes, pending, stale = self._expect(
-                        conn, "sync"
-                    )
-                    if state_bytes is not None:
-                        states[fp] = state_bytes
-                    syncs.append(
-                        WorkerSync(
-                            best_reward=reward,
-                            best_fingerprint=fp,
-                            pending_rewards=pending,
-                            iterations_since_improvement=stale,
-                        )
-                    )
-                total_iterations += round_size * workers
-                sync_rounds += 1
-                best_index, merged = merge_sync_round(syncs, table)
-                best_sync = syncs[best_index]
-                adopt = (states[best_sync.best_fingerprint], best_sync.best_reward)
-                pending_delta = merged
-                # retain only states that can still be adopted: best rewards
-                # are monotone per worker, so a fingerprint no worker
-                # currently reports as its best can never be reported again
-                current = {sync.best_fingerprint for sync in syncs}
-                states = {fp: b for fp, b in states.items() if fp in current}
-                if early_stop_after_adopt(
-                    syncs, best_sync.best_reward, config.early_stop
-                ):
-                    early_stopped = True
-                    break
-
-            for conn in connections:
-                conn.send(("finish",))
-            finals = [self._expect(conn, "done") for conn in connections]
+            finals, total_iterations, sync_rounds, early_stopped = drive_search(
+                connections, config, table
+            )
         finally:
             for conn in connections:
                 try:
@@ -266,49 +410,17 @@ class ProcessBackend:
                     process.terminate()
                     process.join(timeout=5)
 
-        worker_stats: list[SearchStats] = [f[3] for f in finals]
-        for stats, warmup in zip(worker_stats, warmups):
-            stats.warmup_seconds = warmup
-        best = max(range(workers), key=lambda w: finals[w][2])
-        best_state = load_state(finals[best][1])
-        best_reward = finals[best][2]
-
-        stats = aggregate_stats(
+        result = finalize_search(
             self.name,
-            worker_stats,
-            worker_stats[best],
-            best_reward,
+            job,
+            finals,
+            warmups,
+            table,
             total_iterations,
             sync_rounds,
-            early_stopped or any(w.early_stopped for w in worker_stats),
-            time.perf_counter() - start,
-            job,
-            # caches live in the worker processes; surface the best worker's
-            # snapshots as the aggregate view (per-worker stats carry the rest)
-            plan_cache_info=worker_stats[best].plan_cache,
-            mapping_memo_info=worker_stats[best].mapping_memo,
-            warmup_seconds=warmup_wall,
+            early_stopped,
+            start,
+            warmup_wall,
         )
-        if table is not None:
-            # the lookups all happened against the worker replicas — fold
-            # their counters over the coordinator table's entry count so the
-            # snapshot means the same thing it does on serial / thread
-            stats.reward_table = {
-                "rewards": table.size(),
-                "hits": sum(
-                    (w.reward_table or {}).get("hits", 0) for w in worker_stats
-                ),
-                "misses": sum(
-                    (w.reward_table or {}).get("misses", 0) for w in worker_stats
-                ),
-            }
-        return ParallelSearchResult(best_state, best_reward, stats, worker_stats)
-
-    @staticmethod
-    def _expect(conn, kind: str):
-        reply = conn.recv()
-        if reply[0] == "error":
-            raise RuntimeError(f"search worker process failed: {reply[1]}")
-        if reply[0] != kind:  # pragma: no cover - defensive
-            raise RuntimeError(f"expected {kind!r} reply, got {reply[0]!r}")
-        return reply
+        result.stats.reward_table_loaded = len(table_seed)
+        return result

@@ -49,9 +49,14 @@ class _LocalBackend:
     def run(self, job: SearchJob) -> ParallelSearchResult:
         config = job.config
         start = time.perf_counter()
-        table: Optional[RewardTable] = (
-            RewardTable() if config.shared_rewards else None
-        )
+        # callers may hand in a pre-populated table (persisted-cache reloads,
+        # warm service pools); rewards are pure functions of the state, so
+        # preloaded entries change cost, never trajectories
+        table: Optional[RewardTable] = None
+        loaded = 0
+        if config.shared_rewards:
+            table = job.reward_table if job.reward_table is not None else RewardTable()
+            loaded = table.size()
         warmup_start = time.perf_counter()
         self.workers = [
             job.make_worker(w, table) for w in range(max(1, config.workers))
@@ -113,6 +118,7 @@ class _LocalBackend:
             reward_table=table,
             warmup_seconds=warmup_seconds,
         )
+        stats.reward_table_loaded = loaded
         return ParallelSearchResult(
             best_worker.best_state,
             best_worker.best_reward,

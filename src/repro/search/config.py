@@ -40,9 +40,13 @@ class SearchConfig:
         shared_rewards: share every worker's newly evaluated rewards through
             the cross-worker reward table at each synchronization round, so
             overlapping states are evaluated once globally instead of once
-            per worker.  Sharing legitimately changes search trajectories
-            (each worker draws from its own reward-RNG stream), but is
-            deterministic for a fixed seed / worker count on every backend.
+            per worker.  Because rewards are a pure function of
+            (seed, state fingerprint) — see
+            :func:`repro.core.pipeline.make_reward_fn` — table hits return
+            exactly the value ``reward_fn`` would have computed, so sharing
+            (and pre-seeding the table from a persisted cache) changes cost
+            but never trajectories: results are byte-identical with sharing
+            on or off, cold or warm.
     """
 
     max_iterations: int = 120
@@ -115,3 +119,11 @@ class SearchStats:
     warmup_seconds: float = 0.0
     #: snapshot of the shared reward table after the search
     reward_table: Optional[dict] = None
+    #: how this request's workers came up: ``None`` for a one-shot search,
+    #: ``"cold"`` for the first request served by a pool (spawn + warmup paid
+    #: here), ``"warm"`` for subsequent requests on live workers
+    pool: Optional[str] = None
+    #: reward-table entries preloaded before the search started (from a
+    #: persisted cache file or a previous request over the same catalogue /
+    #: workload); these states are never re-evaluated
+    reward_table_loaded: int = 0

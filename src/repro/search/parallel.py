@@ -60,6 +60,8 @@ class ParallelCoordinator:
         reward_factory: Optional[Callable[[int], RewardFn]] = None,
         process_spec: Optional[ProcessWorkerSpec] = None,
         backend: Optional[str] = None,
+        reward_table=None,
+        backend_instance=None,
     ) -> None:
         self.config = config or SearchConfig()
         self.job = SearchJob(
@@ -72,11 +74,19 @@ class ParallelCoordinator:
             executor=executor,
             mapping_memo=mapping_memo,
             process_spec=process_spec,
+            reward_table=reward_table,
         )
-        self.backend_name = resolve_backend_name(
-            backend or self.config.backend, has_process_spec=process_spec is not None
-        )
-        self.backend = get_backend(self.backend_name)
+        if backend_instance is not None:
+            # a live backend (e.g. the generation service's warm worker
+            # pool) bypasses name resolution entirely
+            self.backend_name = backend_instance.name
+            self.backend = backend_instance
+        else:
+            self.backend_name = resolve_backend_name(
+                backend or self.config.backend,
+                has_process_spec=process_spec is not None,
+            )
+            self.backend = get_backend(self.backend_name)
         #: the in-process worker instances, populated by serial / thread
         #: backends after :meth:`run` (process workers live in their own
         #: interpreters and only report serialized stats)
@@ -100,6 +110,8 @@ def parallel_search(
     reward_factory: Optional[Callable[[int], RewardFn]] = None,
     process_spec: Optional[ProcessWorkerSpec] = None,
     backend: Optional[str] = None,
+    reward_table=None,
+    backend_instance=None,
 ) -> ParallelSearchResult:
     """Convenience wrapper around :class:`ParallelCoordinator`."""
     return ParallelCoordinator(
@@ -113,4 +125,6 @@ def parallel_search(
         reward_factory=reward_factory,
         process_spec=process_spec,
         backend=backend,
+        reward_table=reward_table,
+        backend_instance=backend_instance,
     ).run()

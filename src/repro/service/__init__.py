@@ -1,0 +1,40 @@
+"""The persistent generation service (ROADMAP item 1).
+
+Three layers turn the one-shot pipeline into a long-lived service that
+amortizes setup across repeated generation requests:
+
+* :mod:`repro.service.pool` — a reusable :class:`~repro.service.pool.WorkerPool`
+  keeping process-backend workers alive across searches (spawn + warm-up paid
+  once per pool, not per request);
+* :mod:`repro.service.shm` — shared-memory catalogue segments workers attach
+  instead of rebuilding from a pickled spec;
+* :mod:`repro.service.persist` — cross-run save/load of the reward table,
+  plan cache and mapping memo, keyed by content fingerprints and validated
+  on load so stale entries can never alias.
+
+:class:`~repro.service.service.GenerationService` fronts all three; the CLI
+exposes it via ``repro serve`` and ``repro generate --pool``.
+"""
+
+from .fingerprint import catalog_fingerprint, config_fingerprint, workload_fingerprint
+from .persist import CACHE_VERSION, CacheBundle, CacheStore, persistence_key
+from .pool import PooledProcessBackend, ServiceWorkerSpec, WorkerPool
+from .service import GenerationService, RequestStats
+from .shm import CatalogManifest, SharedCatalogRegistry
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheBundle",
+    "CacheStore",
+    "CatalogManifest",
+    "GenerationService",
+    "PooledProcessBackend",
+    "RequestStats",
+    "ServiceWorkerSpec",
+    "SharedCatalogRegistry",
+    "WorkerPool",
+    "catalog_fingerprint",
+    "config_fingerprint",
+    "persistence_key",
+    "workload_fingerprint",
+]

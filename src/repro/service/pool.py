@@ -1,0 +1,398 @@
+"""The reusable worker pool: process workers that outlive a single search.
+
+The one-shot process backend (:mod:`repro.search.backends.process`) spawns,
+warms and tears down its workers inside every ``run()`` — each generation
+request pays OS process start-up plus per-process catalogue rebuild and cache
+warm-up.  :class:`WorkerPool` restructures the lifecycle around the *pool*:
+
+* **spawn once** — workers are created when the pool is built, carrying only
+  a tiny :class:`ServiceWorkerSpec` (a shared-memory catalogue manifest, or
+  the pickled catalogue as fallback), and stay alive between searches;
+* **task messages instead of teardown** — the one-shot protocol's
+  ``round``/``sync``/``finish`` core is reused verbatim (the worker runs
+  :func:`repro.search.backends.process.serve_search`, the coordinator runs
+  :func:`~repro.search.backends.process.drive_search`), but ``finish``
+  returns the worker to an *idle* loop awaiting the next ``task`` instead of
+  exiting;
+* **warm per-process caches** — the catalogue object, the process-wide plan
+  cache and the mapping memo inside each worker persist across tasks, so a
+  repeat generation's reward queries hit compiled plans and mapping
+  fragments from the previous request.
+
+Worker states: ``spawning → idle ⇄ serving → closed`` (``closed`` via the
+``shutdown`` message or pool teardown; a worker that raises replies
+``error`` and the pool fails the request and closes).
+
+Determinism: a pooled search constructs each task's
+:class:`~repro.search.mcts.MCTSWorker` exactly as the one-shot backend does
+— same per-worker RNG offsets, same node-id spaces, same reward-table seed —
+and rewards are pure functions of (seed, state), so a warm pooled request is
+byte-identical to a cold one-shot run (``tests/test_service.py`` sweeps
+this across every workload).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.pipeline import build_reward_setup, make_reward_fn
+from ..database.catalog import Catalog
+from ..difftree.nodes import worker_id_counter
+from ..search.backends.base import (
+    ParallelSearchResult,
+    RewardTable,
+    SearchJob,
+    dump_state,
+    load_state,
+)
+from ..search.backends.process import (
+    _mp_context,
+    drive_search,
+    expect_reply,
+    finalize_search,
+    serve_search,
+)
+from ..search.mcts import MCTSWorker
+from ..search.state import SearchState
+from ..transform.engine import TransformEngine
+from .shm import CatalogManifest, SharedCatalogRegistry
+
+__all__ = ["PooledProcessBackend", "ServiceWorkerSpec", "WorkerPool"]
+
+
+@dataclass
+class ServiceWorkerSpec:
+    """Picklable recipe for a pool worker's *persistent* context.
+
+    Unlike :class:`repro.core.pipeline.PipelineWorkerSpec` — which carries
+    one request's catalogue, queries and config — this spec carries only
+    what outlives requests: the catalogue, preferably as a shared-memory
+    manifest so each worker attaches the one segment the pool owns instead
+    of unpickling a private copy.  Per-request context (queries, configs,
+    initial state, reward-table seed) arrives later in ``task`` messages.
+    """
+
+    #: shared-memory manifest of the catalogue (preferred transport)
+    manifest: Optional[CatalogManifest] = None
+    #: pickled-catalogue fallback when shared memory is unavailable
+    catalog: Optional[Catalog] = None
+    #: rebuilt inside the worker process; never pickled
+    _materialized: Optional[Catalog] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def materialize(self) -> Catalog:
+        """The worker-process catalogue (attached or unpickled, then kept)."""
+        if self._materialized is None:
+            if self.manifest is not None:
+                self._materialized = SharedCatalogRegistry.attach(self.manifest)
+            elif self.catalog is not None:
+                self._materialized = self.catalog
+            else:
+                raise ValueError("ServiceWorkerSpec has neither manifest nor catalog")
+        return self._materialized
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_materialized"] = None
+        return state
+
+
+#: per-worker request-context cache size: a pool usually serves a handful of
+#: distinct (workload, config) pairs; evicting LRU beyond this bounds memory
+_SETUP_CACHE_SIZE = 8
+
+
+def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
+    """Entry point of one pool worker: idle loop serving ``task`` messages.
+
+    Per task the worker rebuilds only the cheap request-scoped objects
+    (engine, reward function) over its persistent catalogue — the expensive
+    work (process spawn, catalogue materialize, plan-cache and memo warm-up)
+    happened at pool build / earlier tasks, and the request-scoped reward
+    setup itself is cached by the SHA-256 of the pickled (queries, config)
+    context: a byte-identical repeat request reuses exactly the setup a cold
+    worker would have built from those bytes, so the cache changes cost,
+    never behaviour.
+    """
+    try:
+        spec: ServiceWorkerSpec = pickle.loads(spec_bytes)
+        catalog = spec.materialize()
+        #: context sha256 -> (reward setup, unpickled pipeline config)
+        setups: OrderedDict[str, tuple] = OrderedDict()
+        conn.send(("ready", 0.0))
+        while True:
+            message = conn.recv()
+            if message[0] == "task":
+                task = pickle.loads(message[1])
+                search_config = task["search_config"]
+                context_bytes = task["context"]
+
+                warmup_start = time.perf_counter()
+                context_key = hashlib.sha256(context_bytes).hexdigest()
+                cached = setups.get(context_key)
+                if cached is None:
+                    asts, pipeline_config = pickle.loads(context_bytes)
+                    setup = build_reward_setup(catalog, asts, pipeline_config)
+                    # the engine is cached *per context*, never shared across
+                    # contexts: a byte-identical repeat request replays the
+                    # identical trajectory, so the cached rule applications —
+                    # node ids included — are exactly what a cold worker
+                    # would re-derive; a different request misses here and
+                    # builds fresh, so no ids leak across workloads
+                    engine = TransformEngine(
+                        catalog,
+                        setup.executor,
+                        max_applications=search_config.max_applications,
+                    )
+                    setups[context_key] = (setup, pipeline_config, engine)
+                    while len(setups) > _SETUP_CACHE_SIZE:
+                        setups.popitem(last=False)
+                else:
+                    setups.move_to_end(context_key)
+                    setup, pipeline_config, engine = cached
+                reward_fn = make_reward_fn(setup, pipeline_config, worker_index)
+                table = RewardTable() if task["shared_rewards"] else None
+                if table is not None and task["table_seed"]:
+                    table.seed(task["table_seed"])
+                worker = MCTSWorker(
+                    load_state(task["initial_state"]),
+                    engine,
+                    reward_fn,
+                    search_config,
+                    rng=search_config.rng(offset=worker_index + 1),
+                    reward_table=table,
+                    id_space=worker_id_counter(worker_index),
+                )
+                warmup_seconds = time.perf_counter() - warmup_start
+                conn.send(("task-ready", warmup_seconds))
+
+                def cache_info(setup=setup):
+                    memo = setup.memo.info() if setup.memo is not None else None
+                    return setup.executor.plan_cache.info(), memo
+
+                serve_search(conn, worker, table, warmup_seconds, cache_info)
+            elif message[0] == "shutdown":
+                conn.send(("bye",))
+                return
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown pool command {message[0]!r}")
+    except EOFError:  # pool owner died: exit quietly
+        pass
+    except Exception as exc:  # pragma: no cover - crash reporting path
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """``workers`` live processes over one catalogue, reused across searches.
+
+    The pool owns the catalogue's shared-memory segment (when ``use_shm``)
+    and the worker processes; close it (context manager, :meth:`close`) to
+    release both.  ``spawn_seconds`` records the one-time cost a pooled
+    request amortizes away.
+    """
+
+    def __init__(
+        self, catalog: Catalog, workers: int, use_shm: bool = True
+    ) -> None:
+        self.catalog = catalog
+        self.workers = max(1, workers)
+        self.tasks_served = 0
+        self.closed = False
+        self._registry: Optional[SharedCatalogRegistry] = None
+
+        spawn_start = time.perf_counter()
+        spec = ServiceWorkerSpec()
+        if use_shm:
+            try:
+                self._registry = SharedCatalogRegistry()
+                spec.manifest = self._registry.register(catalog)
+            except Exception:
+                # no shared memory on this platform: fall back to pickling
+                if self._registry is not None:
+                    self._registry.close()
+                    self._registry = None
+                spec.manifest = None
+        if spec.manifest is None:
+            spec.catalog = catalog
+        spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+        ctx = _mp_context()
+        self._connections = []
+        self._processes = []
+        try:
+            for index in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_pooled_worker_main,
+                    args=(child_conn, spec_bytes, index),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for conn in self._connections:
+                expect_reply(conn, "ready")
+        except Exception:
+            self.close()
+            raise
+        self.spawn_seconds = time.perf_counter() - spawn_start
+
+    def run_task(
+        self, task: dict, search_config, coordinator_table: Optional[RewardTable]
+    ) -> tuple[list, list, int, int, bool]:
+        """Run one search over the live workers.
+
+        ``task`` is pickled and broadcast; ``coordinator_table`` stays local
+        (it holds a lock) and is driven through the round protocol.  Returns
+        ``(finals, task_warmups, total_iterations, sync_rounds,
+        early_stopped)``; the workers return to idle afterwards.
+        """
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        task_bytes = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            for conn in self._connections:
+                conn.send(("task", task_bytes))
+            warmups = [
+                expect_reply(conn, "task-ready")[1] for conn in self._connections
+            ]
+            finals, total_iterations, sync_rounds, early_stopped = drive_search(
+                self._connections, search_config, coordinator_table
+            )
+        except Exception:
+            # a worker error desynchronizes the protocol: the pool cannot
+            # serve further tasks, so release processes and segment now
+            self.close()
+            raise
+        self.tasks_served += 1
+        return finals, warmups, total_iterations, sync_rounds, early_stopped
+
+    @property
+    def warm(self) -> bool:
+        """True once the pool has served at least one task."""
+        return self.tasks_served > 0
+
+    def close(self) -> None:
+        """Shut workers down and unlink the shared-memory segment."""
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("shutdown",))
+            except Exception:
+                pass
+        for conn in self._connections:
+            try:
+                # drain the "bye" (or whatever a dying worker managed to send)
+                if conn.poll(5):
+                    conn.recv()
+            except Exception:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PooledProcessBackend:
+    """A search backend view over a live :class:`WorkerPool`.
+
+    Implements the same interface as the registered backends so
+    :class:`repro.search.parallel.ParallelCoordinator` can run on it via
+    ``backend_instance``.  The per-request pieces of the task (queries,
+    configs) are bound by the generation service before each search via
+    :meth:`bind_request`.
+    """
+
+    name = "pooled-process"
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+        self._context_bytes: Optional[bytes] = None
+
+    def bind_request(self, asts: list, pipeline_config) -> None:
+        """Attach the current request's queries + config for the next run.
+
+        The pair is pickled here, once, and shipped as one opaque context
+        blob: workers key their per-process reward-setup cache by its
+        SHA-256, so byte-identical repeat requests skip the rebuild.
+        """
+        self._context_bytes = pickle.dumps(
+            (list(asts), pipeline_config), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def run(self, job: SearchJob) -> ParallelSearchResult:
+        if self._context_bytes is None:
+            raise RuntimeError(
+                "PooledProcessBackend.run called without bind_request"
+            )
+        config = job.config
+        start = time.perf_counter()
+        was_warm = self.pool.warm
+
+        table: Optional[RewardTable] = None
+        if config.shared_rewards:
+            table = job.reward_table if job.reward_table is not None else RewardTable()
+        table_seed = table.snapshot() if table is not None else {}
+
+        task = {
+            "context": self._context_bytes,
+            "search_config": config,
+            "shared_rewards": config.shared_rewards,
+            "initial_state": dump_state(SearchState(job.initial_trees)),
+            "table_seed": table_seed,
+        }
+        finals, warmups, total_iterations, sync_rounds, early_stopped = (
+            self.pool.run_task(task, config, table)
+        )
+
+        # warm requests pay no spawn / warm-up by construction: those costs
+        # were paid when the pool was built (cold requests surface them so
+        # the amortization is visible in the stats)
+        warmup_wall = 0.0 if was_warm else self.pool.spawn_seconds + max(
+            warmups, default=0.0
+        )
+        reported_warmups = [0.0] * len(warmups) if was_warm else warmups
+        result = finalize_search(
+            self.name,
+            job,
+            finals,
+            reported_warmups,
+            table,
+            total_iterations,
+            sync_rounds,
+            early_stopped,
+            start,
+            warmup_wall,
+        )
+        result.stats.pool = "warm" if was_warm else "cold"
+        result.stats.reward_table_loaded = len(table_seed)
+        return result

@@ -1,0 +1,204 @@
+"""The long-lived generation service: one pool, many requests.
+
+:class:`GenerationService` is the front door of the persistent-service
+stack.  It owns a :class:`~repro.service.pool.WorkerPool` (built lazily on
+the first request that resolves to the process backend), a registry of
+cross-request reward tables keyed by the persistence key, and — when given a
+cache directory — cross-run persistence through the pipeline's
+``config.cache_dir`` path.  Every request reports per-request warm/cold
+statistics via :class:`RequestStats`.
+
+What a repeat request skips, layer by layer:
+
+=====================  ====================================================
+process spawn           paid once at pool build (``pool.spawn_seconds``)
+catalogue rebuild       workers attached the shared-memory segment once
+plan cache / memo       per-process caches persist across tasks
+reward evaluation       the per-key reward table answers previously
+                        explored states (and persists across *runs* via the
+                        cache directory)
+=====================  ====================================================
+
+Because rewards are pure functions of (seed, state), none of this reuse can
+change the generated interface — warm requests are byte-identical to cold
+ones, only faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.config import PipelineConfig, PipelineResult
+from ..core.pipeline import GenerationRuntime, generate_interface
+from ..database.catalog import Catalog
+from ..database.datasets import standard_catalog
+from ..difftree.builder import parse_queries
+from ..search.backends import resolve_backend_name
+from ..search.backends.base import RewardTable
+from .persist import persistence_key
+from .pool import PooledProcessBackend, WorkerPool
+
+__all__ = ["GenerationService", "RequestStats"]
+
+
+@dataclass
+class RequestStats:
+    """Warm/cold observability for one service request."""
+
+    #: ``"warm"`` / ``"cold"`` pool state the request ran under (``None``
+    #: when the request ran on an in-process backend without a pool)
+    pool: Optional[str]
+    seconds: float
+    warmup_seconds: float
+    #: reward-table entries available *before* the search (carried over from
+    #: earlier requests or loaded from the persisted cache)
+    reward_table_loaded: int
+    reward_table_hits: int
+    backend: str
+
+    def summary(self) -> str:
+        pool = self.pool or "off"
+        return (
+            f"pool={pool} backend={self.backend} "
+            f"reward_table_loaded={self.reward_table_loaded} "
+            f"reward_table_hits={self.reward_table_hits} "
+            f"warmup={self.warmup_seconds:.3f}s total={self.seconds:.3f}s"
+        )
+
+
+class GenerationService:
+    """Serve repeated interface generations over one catalogue.
+
+    Use as a context manager (or call :meth:`close`) so the pool's processes
+    and the catalogue's shared-memory segment are released deterministically.
+
+    Args:
+        catalog: the catalogue all requests run against; defaults to the
+            synthetic standard catalogue for the config's seed / scale.
+        config: base pipeline configuration for requests (per-request
+            overrides go through :meth:`generate`'s ``config``).
+        cache_dir: when set, every request persists / reloads its caches
+            under this directory (see :mod:`repro.service.persist`).
+        use_shm: place the catalogue in shared memory for pool workers
+            (falls back to pickling when unavailable).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[PipelineConfig] = None,
+        cache_dir: Optional[str] = None,
+        use_shm: bool = True,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.catalog = catalog or standard_catalog(
+            seed=self.config.seed, scale=self.config.catalog_scale
+        )
+        self.cache_dir = cache_dir
+        self.use_shm = use_shm
+        self.requests: list[RequestStats] = []
+        self._pool: Optional[WorkerPool] = None
+        self._pool_backend: Optional[PooledProcessBackend] = None
+        #: persistence key -> cross-request reward table
+        self._tables: dict[str, RewardTable] = {}
+        self._keys_served: set[str] = set()
+        self.closed = False
+
+    # -- pool management -----------------------------------------------------
+
+    def _pooled_backend_for(self, config: PipelineConfig) -> Optional[PooledProcessBackend]:
+        """The live pool backend when the request resolves to ``process``."""
+        resolved = resolve_backend_name(config.search.backend, has_process_spec=True)
+        if resolved != "process":
+            return None
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.catalog, config.search.workers, use_shm=self.use_shm
+            )
+            self._pool_backend = PooledProcessBackend(self._pool)
+        return self._pool_backend
+
+    # -- requests -------------------------------------------------------------
+
+    def generate(
+        self,
+        queries: Sequence,
+        config: Optional[PipelineConfig] = None,
+    ) -> PipelineResult:
+        """Generate an interface, reusing every warm layer the service holds."""
+        if self.closed:
+            raise RuntimeError("generation service is closed")
+        config = config or self.config
+        if self.cache_dir is not None and config.cache_dir is None:
+            config = config.replace(cache_dir=self.cache_dir)
+
+        asts = parse_queries(list(queries))
+        key = persistence_key(self.catalog, asts, config)
+        table = self._tables.get(key)
+        if table is None:
+            table = RewardTable()
+            self._tables[key] = table
+        loaded_before = table.size()
+
+        backend = self._pooled_backend_for(config)
+        pool_state: Optional[str] = None
+        if backend is not None:
+            backend.bind_request(asts, config)
+            pool_state = "warm" if backend.pool.warm else "cold"
+        elif loaded_before or key in self._keys_served:
+            # in-process backends have no spawn cost to amortize, but the
+            # request is still warm in the cache sense
+            pool_state = "warm"
+        else:
+            pool_state = "cold"
+        self._keys_served.add(key)
+
+        runtime = GenerationRuntime(
+            backend_instance=backend, reward_table=table, pool=pool_state
+        )
+        result = generate_interface(
+            asts, catalog=self.catalog, config=config, runtime=runtime
+        )
+        stats = result.search_stats
+        # the table may have been populated by a persisted-cache load inside
+        # the pipeline; what the *search* saw preloaded is authoritative
+        loaded = max(loaded_before, getattr(stats, "reward_table_loaded", 0))
+        stats.reward_table_loaded = loaded
+        request = RequestStats(
+            pool=pool_state,
+            seconds=result.total_seconds,
+            warmup_seconds=stats.warmup_seconds,
+            reward_table_loaded=loaded,
+            reward_table_hits=stats.reward_table_hits,
+            backend=stats.backend,
+        )
+        self.requests.append(request)
+        return result
+
+    def generate_workload(self, workload, config: Optional[PipelineConfig] = None):
+        """Generate for a named workload log."""
+        from ..workloads.logs import Workload, get_workload
+
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        assert isinstance(workload, Workload)
+        return self.generate(list(workload.queries), config=config)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pool processes and shared-memory segments (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_backend = None
+
+    def __enter__(self) -> "GenerationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -127,27 +127,36 @@ class TransformEngine:
 
     def covers_all_queries(self, trees: Sequence[Difftree]) -> bool:
         """Every input query must be expressible by at least one Difftree."""
-        all_queries: list[Node] = []
+        # query fingerprints are hoisted out of the (query, tree) pair loops:
+        # a fingerprint is a full-AST recursion, and recomputing it per pair
+        # dominated search wall-clock on multi-tree states
+        tree_query_fps: list[set[str]] = []
+        all_queries: list[tuple[str, Node]] = []
         seen: set[str] = set()
         for tree in trees:
+            fps: set[str] = set()
             for q in tree.queries:
                 fp = q.fingerprint()
+                fps.add(fp)
                 if fp not in seen:
                     seen.add(fp)
-                    all_queries.append(q)
-        for query in all_queries:
+                    all_queries.append((fp, q))
+            tree_query_fps.append(fps)
+        for fp, query in all_queries:
             if not any(
-                self._tree_expresses(tree, query)
-                for tree in trees
-                if any(
-                    q.fingerprint() == query.fingerprint() for q in tree.queries
-                )
+                self._tree_expresses(tree, query, fp)
+                for tree, fps in zip(trees, tree_query_fps)
+                if fp in fps
             ):
                 return False
         return True
 
-    def _tree_expresses(self, tree: Difftree, query: Node) -> bool:
-        key = (tree.fingerprint(), query.fingerprint())
+    def _tree_expresses(
+        self, tree: Difftree, query: Node, query_fp: Optional[str] = None
+    ) -> bool:
+        if query_fp is None:
+            query_fp = query.fingerprint()
+        key = (tree.fingerprint(), query_fp)
         if key not in self._express_cache:
             from ..difftree.match import expresses
 

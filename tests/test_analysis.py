@@ -472,6 +472,145 @@ def test_nondet_key_pragma_suppresses():
     assert len(suppressed) == 1
 
 
+# -- shm-lifecycle -------------------------------------------------------------
+
+
+def test_shm_lifecycle_fires_on_unowned_creation():
+    fired, _ = findings_for(
+        """
+        from multiprocessing import shared_memory
+
+        def leaky(nbytes):
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            seg.buf[:4] = b"data"
+            return seg.name
+        """,
+        "shm-lifecycle",
+    )
+    assert len(fired) == 1
+    assert "leaky" in fired[0].message
+
+
+def test_shm_lifecycle_quiet_on_try_finally_and_except_cleanup():
+    fired, _ = findings_for(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def scoped(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            try:
+                return bytes(seg.buf)
+            finally:
+                seg.close()
+
+        def creates_then_populates(nbytes, payload):
+            seg = SharedMemory(create=True, size=nbytes)
+            try:
+                seg.buf[: len(payload)] = payload
+            except Exception:
+                seg.close()
+                seg.unlink()
+                raise
+            return seg
+        """,
+        "shm-lifecycle",
+    )
+    assert fired == []
+
+
+def test_shm_lifecycle_quiet_on_class_managed_segments():
+    fired, _ = findings_for(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Registry:
+            def __init__(self):
+                self._segments = []
+
+            def register(self, nbytes):
+                seg = SharedMemory(create=True, size=nbytes)
+                self._segments.append(seg)
+                return seg.name
+
+            def close(self):
+                for seg in self._segments:
+                    seg.close()
+                    seg.unlink()
+                self._segments.clear()
+        """,
+        "shm-lifecycle",
+    )
+    assert fired == []
+
+
+def test_shm_lifecycle_quiet_on_finalizer_backstop():
+    fired, _ = findings_for(
+        """
+        import weakref
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Registry:
+            def __init__(self):
+                self._segments = []
+                weakref.finalize(self, Registry._cleanup, self._segments)
+
+            def register(self, nbytes):
+                seg = SharedMemory(create=True, size=nbytes)
+                self._segments.append(seg)
+                return seg.name
+
+            @staticmethod
+            def _cleanup(segments):
+                for seg in segments:
+                    seg.close()
+                    seg.unlink()
+        """,
+        "shm-lifecycle",
+    )
+    assert fired == []
+
+
+def test_shm_lifecycle_quiet_on_ownership_transferring_return():
+    fired, _ = findings_for(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach(name):
+            return SharedMemory(name=name)
+        """,
+        "shm-lifecycle",
+    )
+    assert fired == []
+
+
+def test_shm_lifecycle_fires_at_module_level_and_pragma_suppresses():
+    fired, _ = findings_for(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        SCRATCH = SharedMemory(create=True, size=64)
+        """,
+        "shm-lifecycle",
+    )
+    assert len(fired) == 1
+    assert "module level" in fired[0].message
+
+    fired, suppressed = findings_for(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def probe(name):
+            # repro: allow-shm-lifecycle -- probe only; cleaned up by owner
+            seg = SharedMemory(name=name)
+            size = seg.size
+            return size
+        """,
+        "shm-lifecycle",
+    )
+    assert fired == []
+    assert len(suppressed) == 1
+
+
 # -- framework: pragmas, allow-all, parse errors -------------------------------
 
 
@@ -597,7 +736,7 @@ def test_cli_bad_rule_and_missing_paths_exit_2(tmp_path, capsys):
     capsys.readouterr()
 
 
-def test_cli_list_rules_names_all_five(capsys):
+def test_cli_list_rules_names_all_six(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for rule in (
@@ -606,6 +745,7 @@ def test_cli_list_rules_names_all_five(capsys):
         "unlocked-shared-mutation",
         "unpicklable-worker-state",
         "nondeterministic-key",
+        "shm-lifecycle",
     ):
         assert rule in out
 
