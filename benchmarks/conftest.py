@@ -9,8 +9,10 @@ series the paper reports and asserts that the qualitative shape holds.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +25,45 @@ from repro.workloads import WORKLOADS
 
 #: Reduced but representative search budgets used by the benchmark sweeps.
 BENCH_SCALE = 0.15
+
+#: Format version of the ``BENCH_*.json`` perf-trajectory artifacts; bump
+#: when the schema block or the meaning of stamped fields changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Repo root — every ``BENCH_*.json`` lands here so CI's artifact glob
+#: (``BENCH_*.json``) picks all of them up without per-benchmark wiring.
+BENCH_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(
+    bench: str,
+    payload: dict,
+    *,
+    required: dict | None = None,
+    units: str = "seconds",
+) -> Path:
+    """Write ``BENCH_<bench>.json`` with a stamped schema block.
+
+    Replaces the per-benchmark copy-pasted writers: every artifact opens
+    with the same ``schema`` header — format version, bench name, the units
+    measured values are in, and the thresholds the benchmark asserts
+    (``required``) — so downstream perf tracking can parse any artifact
+    without knowing which benchmark wrote it.  The measured ``payload``
+    follows verbatim.
+    """
+    target = BENCH_ROOT / f"BENCH_{bench}.json"
+    doc = {
+        "schema": {
+            "version": BENCH_SCHEMA_VERSION,
+            "bench": bench,
+            "units": units,
+            "required": dict(required or {}),
+        },
+    }
+    doc.update(payload)
+    target.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {target.name}")
+    return target
 
 
 def bench_config(

@@ -20,19 +20,15 @@ the perf trajectory is tracked per run.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.database import Executor, PlanCache
 from repro.database.datasets import standard_catalog
 
 SCALE = 4.0
 REQUIRED_SPEEDUP = 3.0
-
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar_joins.json"
 
 #: the join shapes that previously dropped to the per-row interpreter path
 WORKLOAD = {
@@ -136,8 +132,9 @@ def test_columnar_outer_and_nested_loop_join_speedup():
         "nested_loop_joins_columnar": col.stats.nested_loop_joins_columnar,
         "hash_joins_columnar": col.stats.hash_joins_executed,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH.name}")
+    write_bench_json(
+        "columnar_joins", payload, required={"speedup": REQUIRED_SPEEDUP}
+    )
 
     assert speedup >= REQUIRED_SPEEDUP, (
         f"columnar outer/nested-loop joins only {speedup:.1f}x faster than "

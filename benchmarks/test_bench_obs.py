@@ -1,0 +1,128 @@
+"""Observability overhead gate: disabled-tracing cost must stay under 2%.
+
+ISSUE 9's tracer promises a no-op fast path: with tracing disabled (the
+default for every pipeline run), each instrumented ``with span(...)`` site
+must cost no more than a dict lookup and a shared no-op context manager.
+This benchmark turns that promise into a CI gate:
+
+* micro-benchmark the per-site cost of a **disabled** span (best of N
+  rounds, amortized over a large loop);
+* run the end-to-end pipeline untraced and count, via a traced re-run, how
+  many span sites the run actually passes through;
+* assert that ``disabled_span_cost x span_sites`` is **< 2%** of the
+  untraced pipeline wall-clock.
+
+The traced re-run doubles as the sample artifact: its events and metrics
+are exported as a Chrome ``trace_event`` file (``trace.json`` at the repo
+root, next to the ``BENCH_*.json`` artifacts) so every CI run uploads a
+Perfetto-loadable trace of the real pipeline.  The measured numbers go to
+``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_ROOT, BENCH_SCALE, bench_config, write_bench_json
+
+from repro.database.datasets import standard_catalog
+from repro.core.pipeline import generate_for_workload
+from repro.obs import TRACER, span, write_chrome_trace
+from repro.workloads import WORKLOADS
+
+WORKLOAD = "filter"
+MICRO_ITERATIONS = 200_000
+MICRO_ROUNDS = 3
+MAX_OVERHEAD_FRACTION = 0.02
+
+TRACE_SAMPLE_PATH = BENCH_ROOT / "trace.json"
+
+
+def _disabled_span_cost() -> float:
+    """Best-of-N amortized seconds per disabled ``with span(...)`` site."""
+    assert not TRACER.enabled
+    best = float("inf")
+    for _ in range(MICRO_ROUNDS):
+        start = time.perf_counter()
+        for _ in range(MICRO_ITERATIONS):
+            with span("bench.noop", worker=0):
+                pass
+        best = min(best, (time.perf_counter() - start) / MICRO_ITERATIONS)
+    return best
+
+
+def _run_pipeline(catalog):
+    start = time.perf_counter()
+    result = generate_for_workload(
+        WORKLOADS[WORKLOAD], catalog=catalog, config=bench_config()
+    )
+    return result, time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead_under_two_percent():
+    TRACER.disable()
+    TRACER.clear()
+    per_span_disabled = _disabled_span_cost()
+
+    # untraced reference run: what every production invocation pays
+    untraced, untraced_seconds = _run_pipeline(
+        standard_catalog(seed=42, scale=BENCH_SCALE)
+    )
+
+    # traced re-run: counts the span sites the run actually crosses and
+    # doubles as the sample trace.json CI artifact
+    TRACER.enable()
+    try:
+        traced, traced_seconds = _run_pipeline(
+            standard_catalog(seed=42, scale=BENCH_SCALE)
+        )
+        events = TRACER.take_events()
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+
+    span_sites = len(events)
+    subsystems = sorted({event.category for event in events})
+    overhead_seconds = per_span_disabled * span_sites
+    overhead_fraction = overhead_seconds / max(untraced_seconds, 1e-9)
+
+    write_chrome_trace(
+        TRACE_SAMPLE_PATH,
+        events,
+        metrics=traced.metrics,
+        metadata={"workload": WORKLOAD, "catalog_scale": BENCH_SCALE},
+    )
+    print(f"wrote {TRACE_SAMPLE_PATH.name} ({span_sites} spans)")
+    print(
+        f"disabled span: {per_span_disabled * 1e9:.0f}ns/site x {span_sites} "
+        f"sites = {overhead_seconds * 1e3:.2f}ms over {untraced_seconds:.2f}s "
+        f"({overhead_fraction:.3%}, gate {MAX_OVERHEAD_FRACTION:.0%}); "
+        f"traced run {traced_seconds:.2f}s"
+    )
+
+    write_bench_json(
+        "obs",
+        {
+            "benchmark": "obs_overhead",
+            "workload": WORKLOAD,
+            "catalog_scale": BENCH_SCALE,
+            "disabled_span_seconds": per_span_disabled,
+            "span_sites": span_sites,
+            "subsystems": subsystems,
+            "untraced_seconds": untraced_seconds,
+            "traced_seconds": traced_seconds,
+            "overhead_seconds": overhead_seconds,
+            "overhead_fraction": overhead_fraction,
+        },
+        required={"max_overhead_fraction": MAX_OVERHEAD_FRACTION},
+    )
+
+    # tracing must not change the output, only record it
+    assert traced.interface.to_dict() == untraced.interface.to_dict()
+    # the sample trace must cover the pipeline end to end
+    assert len(subsystems) >= 5, subsystems
+    assert overhead_fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled-tracing overhead {overhead_fraction:.3%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%}: {per_span_disabled * 1e9:.0f}ns/site "
+        f"across {span_sites} sites on a {untraced_seconds:.2f}s run"
+    )

@@ -24,12 +24,10 @@ The measured numbers are written to ``BENCH_parallel.json`` at the repo root
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import generate_interface
@@ -44,8 +42,6 @@ MAX_ITERATIONS = 48
 SYNC_INTERVAL = 12
 QUERY_COUNT = 36  # the Filter log, duplicated (scalability benchmark shape)
 REQUIRED_SPEEDUP = 2.0
-
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def _usable_cores() -> int:
@@ -158,8 +154,9 @@ def test_process_backend_speedup():
             f"run concurrently, so a wall-clock speedup is not measurable"
         )
         payload["serial_process_ratio"] = speedup
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH.name}")
+    write_bench_json(
+        "parallel", payload, required={"speedup": REQUIRED_SPEEDUP}
+    )
 
     # the backends are trajectory-identical: equal work, equal best reward
     assert serial.search_stats.states_evaluated == process.search_stats.states_evaluated

@@ -29,9 +29,8 @@ from __future__ import annotations
 import json
 import os
 import time
-from pathlib import Path
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import generate_interface
@@ -48,8 +47,6 @@ SYNC_INTERVAL = 12
 QUERY_COUNT = 36  # the Filter log, duplicated (scalability benchmark shape)
 WARM_REQUESTS = 3
 REQUIRED_AMORTIZATION = 3.0
-
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
 def _usable_cores() -> int:
@@ -164,8 +161,9 @@ def test_warm_pool_amortizes_repeat_generations():
             result.search_stats.states_evaluated for _, result, _ in warm_runs
         ],
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH.name}")
+    write_bench_json(
+        "service", payload, required={"amortization": REQUIRED_AMORTIZATION}
+    )
 
     # ISSUE 8 acceptance: the warm path skips spawn, warm-up and previously
     # explored states entirely — and cannot change the output

@@ -11,6 +11,7 @@ rule                        guards
 ``unpicklable-worker-state`` process-backend worker-spec pickle safety
 ``nondeterministic-key``    id()/hash()/env/time values inside keys
 ``shm-lifecycle``           shared-memory segments released by an owner
+``no-wallclock-in-key``     timing values flowing (one hop) into keys
 ========================== ==================================================
 """
 
@@ -20,3 +21,4 @@ from . import nondet_key  # noqa: F401
 from . import pickle_safety  # noqa: F401
 from . import shm_lifecycle  # noqa: F401
 from . import unordered_iteration  # noqa: F401
+from . import wallclock_key  # noqa: F401

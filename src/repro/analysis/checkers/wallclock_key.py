@@ -1,0 +1,233 @@
+"""``no-wallclock-in-key``: timing values must not flow into keys.
+
+The observability layer (:mod:`repro.obs`) makes wall-clock readings — span
+starts, durations, phase attributions — ubiquitous next to the code that
+mints cache keys and fingerprints.  A timing value that lands in a key is a
+worse bug than most nondeterminism: the key *looks* stable in a single run
+(the same object keeps its key) but never matches across runs, silently
+turning every persisted cache lookup into a miss.
+
+:mod:`repro.analysis.checkers.nondet_key` already bans *direct* clock calls
+inside key contexts.  This rule adds the one-hop flow the direct scan cannot
+see::
+
+    start = time.perf_counter()        # fine: timing for stats
+    ...
+    key = (sql, start)                 # flagged: timing flowed into a key
+
+A name becomes *tainted* when it is assigned from a wall-clock source — any
+``time.*`` clock (``time``/``monotonic``/``perf_counter``/``process_time``
+and their ``_ns`` variants, also as bare from-imports), ``datetime``'s
+``now``/``utcnow``/``today``, or a tracer span (``span(...)`` /
+``TRACER.span(...)`` — span objects carry start timestamps and per-run
+identity).  The rule fires when a tainted name (or a direct clock call) is
+
+* used anywhere inside a key-producer function (``fingerprint``/``*_key``,
+  the :data:`~repro.analysis.checkers.unordered_iteration.KEY_PRODUCER_RE`
+  convention);
+* part of the right-hand side of an assignment to a key-like name
+  (``key``/``*_key``/``fingerprint*``);
+* passed as an argument to a call whose callee name is itself a key
+  producer (``persistence_key(sql, started_at)``).
+
+Intentional timing-in-key designs (e.g. a TTL bucket that *wants* coarse
+time in the key) take the ``# repro: allow-no-wallclock-in-key`` pragma with
+their justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Checker, FileContext, Finding, register
+from .nondet_key import _KEY_TARGET_RE
+from .unordered_iteration import KEY_PRODUCER_RE
+
+#: ``module.attr`` clock calls whose results are wall-clock tainted
+_CLOCK_QUALIFIED = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+    ("time", "time_ns"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: bare names that are unambiguous clock reads when called (from-imports);
+#: ``time`` itself is excluded — it is far too common as a variable name
+_CLOCK_BARE = {
+    "monotonic",
+    "perf_counter",
+    "process_time",
+    "time_ns",
+    "monotonic_ns",
+    "perf_counter_ns",
+    "process_time_ns",
+}
+
+#: tracer entry points whose return values carry timing + per-run identity
+_SPAN_BARE = {"span"}
+
+
+def _clock_call(node: ast.Call) -> Optional[str]:
+    """A human-readable description when ``node`` reads a clock / span."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in _CLOCK_BARE:
+            return f"{func.id}(...)"
+        if func.id in _SPAN_BARE:
+            return f"{func.id}(...) span"
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        base_name = base.id if isinstance(base, ast.Name) else None
+        if (base_name, func.attr) in _CLOCK_QUALIFIED:
+            return f"{base_name}.{func.attr}(...)"
+        if base_name == "TRACER" and func.attr == "span":
+            return "TRACER.span(...) span"
+    return None
+
+
+def _scan_clocks(node: ast.AST) -> list[tuple[ast.AST, str]]:
+    return [
+        (sub, what)
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Call) and (what := _clock_call(sub)) is not None
+    ]
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _FunctionScope:
+    """One function's taint map: name -> description of its clock source."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.tainted: dict[str, str] = {}
+        self._collect(node)
+
+    def _collect(self, root) -> None:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Assign):
+                hits = _scan_clocks(sub.value)
+                if not hits:
+                    continue
+                what = hits[0][1]
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        self.tainted[target.id] = what
+            elif isinstance(sub, ast.AugAssign) and isinstance(sub.target, ast.Name):
+                if _scan_clocks(sub.value):
+                    self.tainted.setdefault(sub.target.id, "clock arithmetic")
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and _clock_call(item.context_expr) is not None
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        self.tainted[item.optional_vars.id] = "span object"
+
+    def tainted_uses(self, node: ast.AST) -> list[tuple[ast.AST, str]]:
+        """Loads of tainted names anywhere inside ``node``."""
+        return [
+            (sub, f"{sub.id!r} (assigned from {self.tainted[sub.id]})")
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Name)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.id in self.tainted
+        ]
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, checker: "WallclockKeyChecker", ctx: FileContext) -> None:
+        self.checker = checker
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._flagged: set[int] = set()
+
+    def _flag(self, site: ast.AST, what: str, where: str) -> None:
+        if id(site) in self._flagged:
+            return
+        self._flagged.add(id(site))
+        self.findings.append(
+            self.checker.finding(
+                self.ctx,
+                site,
+                f"wall-clock value {what} flows into {where}; keys must be "
+                "content-derived — timing belongs in spans and metrics, "
+                "never in what they observe",
+            )
+        )
+
+    def _function(self, node) -> None:
+        scope = _FunctionScope(node)
+        if KEY_PRODUCER_RE.search(node.name):
+            where = f"key producer {node.name}()"
+            for site, what in _scan_clocks(node):
+                self._flag(site, what, where)
+            for site, what in scope.tainted_uses(node):
+                self._flag(site, what, where)
+        else:
+            self._check_flows(node, scope)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _function
+    visit_AsyncFunctionDef = _function
+
+    def _check_flows(self, node, scope: _FunctionScope) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                key_targets = [
+                    t.id
+                    for t in sub.targets
+                    if isinstance(t, ast.Name) and _KEY_TARGET_RE.search(t.id)
+                ]
+                if key_targets:
+                    where = f"assignment to {key_targets[0]!r}"
+                    for site, what in _scan_clocks(sub.value):
+                        self._flag(site, what, where)
+                    for site, what in scope.tainted_uses(sub.value):
+                        self._flag(site, what, where)
+            elif isinstance(sub, ast.Call):
+                callee = _callee_name(sub)
+                # dict.keys() et al. take no arguments worth scanning, so the
+                # producer-name match stays cheap and precise for real calls
+                # like persistence_key(...) / state_fingerprint(...)
+                if callee is None or not KEY_PRODUCER_RE.search(callee):
+                    continue
+                where = f"argument to key producer {callee}()"
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    for site, what in _scan_clocks(arg):
+                        self._flag(site, what, where)
+                    for site, what in scope.tainted_uses(arg):
+                        self._flag(site, what, where)
+
+
+@register
+class WallclockKeyChecker(Checker):
+    rule = "no-wallclock-in-key"
+    description = (
+        "perf_counter/time/span values flowing (one hop) into fingerprints "
+        "or cache keys"
+    )
+    dynamic_backstop = (
+        "tests/test_service.py cold/warm/persisted byte-identity; "
+        "tests/test_obs.py tracing-on/off interface identity"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings

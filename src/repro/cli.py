@@ -105,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
         "this directory and reload them on later runs (keyed by catalogue, "
         "workload and config fingerprints)",
     )
+    gen.add_argument(
+        "--trace",
+        help="record spans across the run and write a Chrome trace_event "
+        "JSON file to this path (open in Perfetto / chrome://tracing)",
+    )
+    gen.add_argument(
+        "--trace-jsonl",
+        help="like --trace, but write the span event log as JSON lines",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -128,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     show = sub.add_parser("show", help="print a workload's queries")
     show.add_argument("--workload", required=True)
+
+    stats = sub.add_parser(
+        "stats",
+        help="pretty-print a recorded trace: per-phase wall-clock "
+        "attribution and cache hit rates",
+    )
+    stats.add_argument("trace", help="a file written by generate --trace / --trace-jsonl")
 
     return parser
 
@@ -163,11 +179,40 @@ def _build_config(args) -> PipelineConfig:
     return config
 
 
+def _enable_tracing() -> None:
+    """Turn the span tracer on, including in workers spawned later.
+
+    The environment variable must be set *before* any worker process is
+    spawned: spawn-method children initialise their tracer from it, so
+    setting it here is what makes worker-side spans exist at all.
+    """
+    import os
+
+    from .obs import TRACE_ENV_VAR, TRACER
+
+    os.environ[TRACE_ENV_VAR] = "1"
+    TRACER.enable()
+
+
+def _write_traces(args, metrics: Optional[dict]) -> None:
+    from .obs import TRACER, write_chrome_trace, write_jsonl
+
+    events = TRACER.events()
+    if args.trace:
+        write_chrome_trace(args.trace, events, metrics=metrics)
+        print(f"wrote Chrome trace ({len(events)} spans) to {args.trace}")
+    if args.trace_jsonl:
+        write_jsonl(args.trace_jsonl, events, metrics=metrics)
+        print(f"wrote JSONL trace ({len(events)} spans) to {args.trace_jsonl}")
+
+
 def _command_generate(args) -> int:
     queries = _load_queries(args)
     config = _build_config(args)
     catalog = standard_catalog(seed=args.seed, scale=args.scale)
     repeats = max(1, args.repeat)
+    if args.trace or args.trace_jsonl:
+        _enable_tracing()
 
     print(f"generating an interface from {len(queries)} queries …", file=sys.stderr)
     if args.pool:
@@ -212,6 +257,8 @@ def _command_generate(args) -> int:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             fh.write(interface_to_json(interface, runtime))
         print(f"wrote JSON spec to {args.json_out}")
+    if args.trace or args.trace_jsonl:
+        _write_traces(args, result.metrics)
     return 0
 
 
@@ -339,6 +386,46 @@ def _command_list_workloads() -> int:
     return 0
 
 
+def _command_stats(args) -> int:
+    """Pretty-print per-phase wall-clock attribution and cache hit rates."""
+    from .obs import cache_hit_rates, phase_attribution, read_trace
+
+    events, metrics = read_trace(args.trace)
+    if not events:
+        print(f"{args.trace}: no span events recorded", file=sys.stderr)
+        return 1
+
+    attribution = phase_attribution(events)
+    total = sum(attribution.values())
+    workers = len({e.pid for e in events})
+    print(f"trace: {len(events)} spans across {workers} process(es)")
+    print(f"\nphase attribution (self time, {total:.3f}s total):")
+    width = max(len(p) for p in attribution)
+    for phase_name, seconds in sorted(
+        attribution.items(), key=lambda kv: -kv[1]
+    ):
+        if seconds == 0.0 and phase_name != "other":
+            continue
+        share = (seconds / total * 100.0) if total else 0.0
+        bar = "#" * int(round(share / 2))
+        print(f"  {phase_name.ljust(width)}  {seconds:9.4f}s  {share:5.1f}%  {bar}")
+
+    rows = cache_hit_rates(metrics)
+    if rows:
+        print("\ncache hit rates:")
+        name_width = max(len(r["cache"]) for r in rows)
+        for row in rows:
+            lookups = row["hits"] + row["misses"]
+            rate = (
+                f"{row['rate'] * 100.0:5.1f}%" if row["rate"] is not None else "    —"
+            )
+            print(
+                f"  {row['cache'].ljust(name_width)}  "
+                f"{row['hits']:6d} hits / {lookups:6d} lookups  {rate}"
+            )
+    return 0
+
+
 def _command_show(args) -> int:
     workload = get_workload(args.workload)
     print(f"-- {workload.name}: {workload.description}")
@@ -358,6 +445,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list_workloads()
     if args.command == "show":
         return _command_show(args)
+    if args.command == "stats":
+        return _command_stats(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -95,6 +95,11 @@ class PipelineResult:
     #: query-plan / executor counters (:class:`repro.database.planner.PlanStats`)
     #: for the run — hash joins vs fallbacks, pushdowns, cache hit rates
     executor_stats: object = None
+    #: the run's unified metrics registry as a flat ``{name: value}`` dict
+    #: (:meth:`repro.obs.metrics.MetricsRegistry.as_dict`): every stats
+    #: dataclass above published through :mod:`repro.obs.views`, plus merged
+    #: per-worker snapshots under ``workers.*``
+    metrics: Optional[dict] = None
 
     @property
     def cost(self) -> Optional[float]:

@@ -41,6 +41,16 @@ from ..difftree.builder import (
 from ..interface.spec import Interface
 from ..mapping.mapper import InterfaceMapper
 from ..mapping.memo import SHARED_MAPPING_MEMO, MappingMemo
+from ..obs import (
+    GLOBAL_METRICS,
+    MetricsRegistry,
+    publish_cache_info,
+    publish_mapper_stats,
+    publish_plan_stats,
+    publish_search_stats,
+    span,
+    worker_metrics_snapshot,
+)
 from ..search.backends import resolve_backend_name
 from ..search.mcts import RewardFn
 from ..search.parallel import parallel_search
@@ -202,6 +212,19 @@ class PipelineWorkerSpec:
         memo_info = self.setup.memo.info() if self.setup.memo is not None else None
         return self.setup.executor.plan_cache.info(), memo_info
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """This worker process's registry snapshot (``workers.*``), shipped
+        back in the ``done`` reply and merged by the coordinator."""
+        if self.setup is None:
+            return None
+        plan_info, memo_info = self.cache_info()
+        return worker_metrics_snapshot(
+            plan_stats=self.setup.executor.stats,
+            mapper_stats=self.setup.mapper.stats,
+            plan_cache_info=plan_info,
+            memo_info=memo_info,
+        )
+
     def __getstate__(self):
         state = self.__dict__.copy()
         state["setup"] = None
@@ -279,7 +302,8 @@ def generate_interface(
     config = config or PipelineConfig()
     catalog = catalog or standard_catalog(seed=config.seed, scale=config.catalog_scale)
     runtime = runtime or GenerationRuntime()
-    asts = parse_queries(queries)
+    with span("pipeline.parse", queries=len(queries)):
+        asts = parse_queries(queries)
     setup = build_reward_setup(catalog, asts, config)
     executor = setup.executor
 
@@ -308,17 +332,18 @@ def generate_interface(
     total_start = time.perf_counter()
 
     # step 1: initial Difftrees (optionally clustered by result schema)
-    trees = initial_difftrees(asts)
-    if config.initial_partition and len(trees) > 1:
-        clusters = cluster_by_result_schema(trees, executor)
-        trees = [merge_difftrees(cluster) for cluster in clusters]
+    with span("pipeline.plan", queries=len(asts)):
+        trees = initial_difftrees(asts)
+        if config.initial_partition and len(trees) > 1:
+            clusters = cluster_by_result_schema(trees, executor)
+            trees = [merge_difftrees(cluster) for cluster in clusters]
 
-    # step 2: MCTS over transformation rules
-    engine = TransformEngine(
-        catalog, executor, max_applications=config.search.max_applications
-    )
-    if config.initial_refactor:
-        trees = engine.refactor_to_fixpoint(trees)
+        # step 2: MCTS over transformation rules
+        engine = TransformEngine(
+            catalog, executor, max_applications=config.search.max_applications
+        )
+        if config.initial_refactor:
+            trees = engine.refactor_to_fixpoint(trees)
 
     # every worker gets a private engine (its rule-application cache must not
     # couple workers across rounds) and a private reward-RNG stream; the
@@ -332,17 +357,18 @@ def generate_interface(
         return make_reward_fn(setup, config, worker_index)
 
     search_start = time.perf_counter()
-    result = parallel_search(
-        trees,
-        config=config.search,
-        executor=executor,
-        mapping_memo=setup.memo,
-        engine_factory=engine_factory,
-        reward_factory=reward_factory,
-        process_spec=_process_spec_for(catalog, asts, config),
-        reward_table=reward_table,
-        backend_instance=runtime.backend_instance,
-    )
+    with span("pipeline.search", workers=config.search.workers):
+        result = parallel_search(
+            trees,
+            config=config.search,
+            executor=executor,
+            mapping_memo=setup.memo,
+            engine_factory=engine_factory,
+            reward_factory=reward_factory,
+            process_spec=_process_spec_for(catalog, asts, config),
+            reward_table=reward_table,
+            backend_instance=runtime.backend_instance,
+        )
     search_seconds = time.perf_counter() - search_start
     if runtime.pool is not None:
         result.stats.pool = runtime.pool
@@ -350,7 +376,8 @@ def generate_interface(
     # step 3: exhaustive interface mapping on the best state (Algorithm 1)
     mapper = setup.mapper
     mapping_start = time.perf_counter()
-    candidates = mapper.generate(result.best_state.trees)
+    with span("pipeline.map", trees=len(result.best_state.trees)):
+        candidates = mapper.generate(result.best_state.trees)
     mapping_seconds = time.perf_counter() - mapping_start
     if not candidates:
         raise PipelineError(
@@ -373,6 +400,26 @@ def generate_interface(
             memo=memo_entries,
         )
 
+    # publish every stats sink into the run's unified registry (the stats
+    # dataclasses are views over it — repro.obs.views declares the total
+    # field maps) and fold it into the process-lifetime accumulator
+    registry = MetricsRegistry()
+    publish_search_stats(result.stats, registry)
+    publish_plan_stats(executor.stats, registry)
+    publish_mapper_stats(mapper.stats, registry)
+    publish_cache_info(result.stats.plan_cache, registry, "cache.plan")
+    publish_cache_info(result.stats.mapping_memo, registry, "cache.memo")
+    publish_cache_info(result.stats.reward_table, registry, "cache.rewards")
+    if cache_store is not None:
+        registry.counter("persist.loads").inc(cache_store.loads)
+        registry.counter("persist.misses").inc(
+            cache_store.misses + cache_store.load_rejects
+        )
+        registry.counter("persist.rejects").inc(cache_store.load_rejects)
+        registry.counter("persist.saves").inc(cache_store.saves)
+    registry.merge(result.stats.metrics)  # workers.* (process backend)
+    GLOBAL_METRICS.merge(registry.snapshot())
+
     return PipelineResult(
         interface=interface,
         state=result.best_state,
@@ -384,6 +431,7 @@ def generate_interface(
         best_reward=result.best_reward,
         candidates=candidates,
         executor_stats=executor.stats,
+        metrics=registry.as_dict(),
     )
 
 

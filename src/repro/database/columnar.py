@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import span
 from ..sqlparser import L, Node
 from .functions import AGGREGATE_FUNCTIONS, SCALAR_FUNCTIONS, is_aggregate
 from .planner import (
@@ -172,6 +173,10 @@ class ColumnarEngine:
 
     def execute_plan(self, plan: Plan, env: Optional["Environment"]) -> ResultTable:
         """Run source → filter → group/project; the executor runs the tail."""
+        with span("columnar.execute"):
+            return self._execute_plan(plan, env)
+
+    def _execute_plan(self, plan: Plan, env: Optional["Environment"]) -> ResultTable:
         hash_joins = cross_joins = nested_loops = 0
 
         def run(op: Optional[PlanOp]) -> ColumnarRelation:

@@ -52,6 +52,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..obs import span
 from ..sqlparser import L, Node, parse, to_sql
 from .catalog import Catalog, CatalogError
 from .functions import (
@@ -230,7 +231,8 @@ class Executor:
                 return cached.copy()
             self.stats.result_cache_misses += 1
 
-        result = self._execute_select(node, env, order_insensitive)
+        with span("executor.execute", nested=_nested or env is not None):
+            result = self._execute_select(node, env, order_insensitive)
         if cache_key is not None:
             self._cache[cache_key] = result
             while len(self._cache) > self.cache_size:
@@ -307,7 +309,8 @@ class Executor:
         if plan is not None:
             self.stats.plan_cache_hits += 1
             return plan
-        plan = self.planner.plan(stmt, order_insensitive=order_insensitive)
+        with span("executor.plan"):
+            plan = self.planner.plan(stmt, order_insensitive=order_insensitive)
         self.plan_cache.put(self.catalog, key, plan)
         return plan
 

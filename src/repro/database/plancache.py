@@ -23,6 +23,8 @@ import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable, Optional
 
+from ..obs import span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .catalog import Catalog
     from .planner import Plan
@@ -132,17 +134,18 @@ class PlanCache:
         persisted one); returns the number of entries actually added.
         """
         added = 0
-        with self._lock:
-            plans = self._by_catalog.get(catalog)
-            if plans is None:
-                plans = OrderedDict()
-                self._by_catalog[catalog] = plans
-            for key, plan in entries:
-                if key not in plans:
-                    plans[key] = plan
-                    added += 1
-            while len(plans) > self.max_size:
-                plans.popitem(last=False)
+        with span("persist.import_plans", entries=len(entries)):
+            with self._lock:
+                plans = self._by_catalog.get(catalog)
+                if plans is None:
+                    plans = OrderedDict()
+                    self._by_catalog[catalog] = plans
+                for key, plan in entries:
+                    if key not in plans:
+                        plans[key] = plan
+                        added += 1
+                while len(plans) > self.max_size:
+                    plans.popitem(last=False)
         return added
 
 

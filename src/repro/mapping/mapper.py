@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from ..database.catalog import Catalog
 from ..database.executor import Executor
+from ..obs import span
 from ..difftree.nodes import ChoiceNode
 from ..difftree.tree import Difftree
 from ..interface.spec import (
@@ -148,6 +149,10 @@ class InterfaceMapper:
 
     def generate(self, trees: Sequence[Difftree]) -> list[Interface]:
         """Full Algorithm-1 search; returns interfaces sorted by total cost."""
+        with span("mapping.generate", trees=len(trees)):
+            return self._generate(trees)
+
+    def _generate(self, trees: Sequence[Difftree]) -> list[Interface]:
         trees = list(trees)
         vis_options = self._vis_options(trees)
         wcand_by_node, universe, clist = self._widget_candidates(trees)

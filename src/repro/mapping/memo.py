@@ -44,6 +44,8 @@ import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from ..obs import span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..database.catalog import Catalog
 
@@ -139,21 +141,22 @@ class MappingMemo:
         actually added.
         """
         added = 0
-        with self._lock:
-            fragments = self._by_catalog.get(catalog)
-            if fragments is None:
-                fragments = OrderedDict()
-                self._by_catalog[catalog] = fragments
-            for key, value in entries:
-                if not (
-                    isinstance(key, tuple) and key and key[0] in self.PERSISTABLE_KINDS
-                ):
-                    continue
-                if key not in fragments:
-                    fragments[key] = value
-                    added += 1
-            while len(fragments) > self.max_size:
-                fragments.popitem(last=False)
+        with span("persist.import_memo", entries=len(entries)):
+            with self._lock:
+                fragments = self._by_catalog.get(catalog)
+                if fragments is None:
+                    fragments = OrderedDict()
+                    self._by_catalog[catalog] = fragments
+                for key, value in entries:
+                    if not (
+                        isinstance(key, tuple) and key and key[0] in self.PERSISTABLE_KINDS
+                    ):
+                        continue
+                    if key not in fragments:
+                        fragments[key] = value
+                        added += 1
+                while len(fragments) > self.max_size:
+                    fragments.popitem(last=False)
         return added
 
 

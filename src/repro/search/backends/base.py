@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence
 
 from ...difftree.nodes import worker_id_counter
 from ...difftree.tree import Difftree
+from ...obs import MetricsRegistry
 from ..config import SearchConfig, SearchStats
 from ..mcts import MCTSWorker, RewardFn
 from ..state import SearchState
@@ -294,6 +295,17 @@ def aggregate_stats(
         plan_cache_info = job.executor.plan_cache.info()
     if mapping_memo_info is None and job.mapping_memo is not None:
         mapping_memo_info = job.mapping_memo.info()
+    # per-worker registry snapshots (process-backend workers ship theirs in
+    # the "done" reply) merge in worker order — the reward table's
+    # first-writer-wins discipline — so the totals are deterministic under
+    # any scheduling
+    merged_metrics = None
+    snapshots = [w.metrics for w in worker_stats if w.metrics]
+    if snapshots:
+        registry = MetricsRegistry()
+        for snapshot in snapshots:
+            registry.merge(snapshot)
+        merged_metrics = registry.snapshot()
     return SearchStats(
         iterations=total_iterations,
         states_evaluated=sum(w.states_evaluated for w in worker_stats),
@@ -315,6 +327,7 @@ def aggregate_stats(
         sync_rounds=sync_rounds,
         warmup_seconds=warmup_seconds,
         reward_table=reward_table.info() if reward_table is not None else None,
+        metrics=merged_metrics,
     )
 
 

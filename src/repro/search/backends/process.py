@@ -56,6 +56,7 @@ import time
 from typing import Callable, Optional
 
 from ...difftree.nodes import worker_id_counter
+from ...obs import TRACER, span
 from ..config import SearchConfig, SearchStats
 from ..mcts import MCTSWorker
 from ..state import SearchState
@@ -120,6 +121,7 @@ def serve_search(
     table: Optional[RewardTable],
     warmup_seconds: float,
     cache_info: Callable[[], tuple[Optional[dict], Optional[dict]]],
+    metrics_snapshot: Optional[Callable[[], Optional[dict]]] = None,
 ) -> None:
     """Serve ``round`` messages for one search until ``finish``.
 
@@ -165,6 +167,12 @@ def serve_search(
             stats.mapping_memo = memo_info
             if table is not None:
                 stats.reward_table = table.info()
+            if metrics_snapshot is not None:
+                stats.metrics = metrics_snapshot()
+            if TRACER.enabled:
+                # ship this process's span events to the coordinator (drain,
+                # so a pooled worker never re-sends a previous task's spans)
+                stats.spans = TRACER.take_events()
             conn.send(
                 ("done", dump_state(worker.best_state), worker.best_reward, stats)
             )
@@ -201,7 +209,14 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
         )
         warmup_seconds = time.perf_counter() - warmup_start
         conn.send(("ready", warmup_seconds))
-        serve_search(conn, worker, table, warmup_seconds, spec.cache_info)
+        serve_search(
+            conn,
+            worker,
+            table,
+            warmup_seconds,
+            spec.cache_info,
+            metrics_snapshot=getattr(spec, "metrics_snapshot", None),
+        )
     except Exception as exc:  # pragma: no cover - crash reporting path
         try:
             conn.send(("error", repr(exc)))
@@ -237,40 +252,47 @@ def drive_search(
     adopt: Optional[tuple[bytes, float]] = None
     pending_delta: dict[str, float] = {}
     for round_size in round_sizes(config):
-        for conn in connections:
-            conn.send(
-                (
-                    "round",
-                    round_size,
-                    adopt[0] if adopt is not None else None,
-                    adopt[1] if adopt is not None else 0.0,
-                    pending_delta,
+        # the coordinator's round span measures wall-clock from broadcast to
+        # the last worker's sync reply (the workers' own spans arrive later,
+        # attached to their final stats)
+        with span("search.round", round=sync_rounds, size=round_size):
+            for conn in connections:
+                conn.send(
+                    (
+                        "round",
+                        round_size,
+                        adopt[0] if adopt is not None else None,
+                        adopt[1] if adopt is not None else 0.0,
+                        pending_delta,
+                    )
                 )
-            )
-        syncs: list[WorkerSync] = []
-        for conn in connections:
-            _, fp, reward, state_bytes, pending, stale = expect_reply(conn, "sync")
-            if state_bytes is not None:
-                states[fp] = state_bytes
-            syncs.append(
-                WorkerSync(
-                    best_reward=reward,
-                    best_fingerprint=fp,
-                    pending_rewards=pending,
-                    iterations_since_improvement=stale,
+            syncs: list[WorkerSync] = []
+            for conn in connections:
+                _, fp, reward, state_bytes, pending, stale = expect_reply(
+                    conn, "sync"
                 )
-            )
+                if state_bytes is not None:
+                    states[fp] = state_bytes
+                syncs.append(
+                    WorkerSync(
+                        best_reward=reward,
+                        best_fingerprint=fp,
+                        pending_rewards=pending,
+                        iterations_since_improvement=stale,
+                    )
+                )
         total_iterations += round_size * workers
-        sync_rounds += 1
-        best_index, merged = merge_sync_round(syncs, table)
-        best_sync = syncs[best_index]
-        adopt = (states[best_sync.best_fingerprint], best_sync.best_reward)
-        pending_delta = merged
-        # retain only states that can still be adopted: best rewards
-        # are monotone per worker, so a fingerprint no worker
-        # currently reports as its best can never be reported again
-        current = {sync.best_fingerprint for sync in syncs}
-        states = {fp: b for fp, b in states.items() if fp in current}
+        with span("search.sync", round=sync_rounds):
+            sync_rounds += 1
+            best_index, merged = merge_sync_round(syncs, table)
+            best_sync = syncs[best_index]
+            adopt = (states[best_sync.best_fingerprint], best_sync.best_reward)
+            pending_delta = merged
+            # retain only states that can still be adopted: best rewards
+            # are monotone per worker, so a fingerprint no worker
+            # currently reports as its best can never be reported again
+            current = {sync.best_fingerprint for sync in syncs}
+            states = {fp: b for fp, b in states.items() if fp in current}
         if early_stop_after_adopt(syncs, best_sync.best_reward, config.early_stop):
             early_stopped = True
             break
@@ -297,6 +319,12 @@ def finalize_search(
     worker_stats: list[SearchStats] = [f[3] for f in finals]
     for stats, warmup in zip(worker_stats, warmups):
         stats.warmup_seconds = warmup
+        # adopt worker-process span events into the coordinator's tracer so
+        # one exported trace shows every process; drop them from the stats
+        # afterwards (they are transport, not a per-worker diagnostic)
+        if stats.spans:
+            TRACER.extend(stats.spans)
+            stats.spans = None
     best = max(range(len(finals)), key=lambda w: finals[w][2])
     best_state = load_state(finals[best][1])
     best_reward = finals[best][2]

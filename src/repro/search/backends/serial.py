@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ...obs import span
 from ..config import SearchConfig
 from ..mcts import MCTSWorker
 from .base import (
@@ -78,28 +79,30 @@ class _LocalBackend:
         sync_rounds = 0
         early_stopped = False
         for round_size in round_sizes(config):
-            self._run_round(self.workers, round_size)
+            with span("search.round", round=sync_rounds, size=round_size):
+                self._run_round(self.workers, round_size)
             total_iterations += round_size * len(self.workers)
 
             # synchronization: merge reward deltas, broadcast the best state
-            syncs = [
-                WorkerSync(
-                    best_reward=w.best_reward,
-                    best_fingerprint=w.best_state.fingerprint(),
-                    pending_rewards=w.take_pending_rewards(),
-                    iterations_since_improvement=w.iterations_since_improvement,
-                    best_state=w.best_state,
+            with span("search.sync", round=sync_rounds):
+                syncs = [
+                    WorkerSync(
+                        best_reward=w.best_reward,
+                        best_fingerprint=w.best_state.fingerprint(),
+                        pending_rewards=w.take_pending_rewards(),
+                        iterations_since_improvement=w.iterations_since_improvement,
+                        best_state=w.best_state,
+                    )
+                    for w in self.workers
+                ]
+                best_index, _ = merge_sync_round(syncs, table)
+                best_sync = syncs[best_index]
+                sync_rounds += 1
+                stop = early_stop_after_adopt(
+                    syncs, best_sync.best_reward, config.early_stop
                 )
-                for w in self.workers
-            ]
-            best_index, _ = merge_sync_round(syncs, table)
-            best_sync = syncs[best_index]
-            sync_rounds += 1
-            stop = early_stop_after_adopt(
-                syncs, best_sync.best_reward, config.early_stop
-            )
-            for worker in self.workers:
-                worker.adopt(best_sync.best_state, best_sync.best_reward)
+                for worker in self.workers:
+                    worker.adopt(best_sync.best_state, best_sync.best_reward)
             if stop:
                 early_stopped = True
                 break

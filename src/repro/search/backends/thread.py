@@ -20,6 +20,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from ...obs import span
 from ..mcts import MCTSWorker
 from .base import ParallelSearchResult, SearchJob
 from .serial import _LocalBackend
@@ -52,9 +53,13 @@ class ThreadBackend(_LocalBackend):
             super()._run_round(workers, round_size)
             return
 
-        def run_worker(worker: MCTSWorker) -> None:
-            for _ in range(round_size):
-                worker.run_iteration()
+        def run_worker(index_worker: tuple[int, MCTSWorker]) -> None:
+            index, worker = index_worker
+            # per-thread span: each worker thread keeps its own span stack,
+            # so nested reward spans attribute to the right worker
+            with span("search.worker_round", worker=index, size=round_size):
+                for _ in range(round_size):
+                    worker.run_iteration()
 
         # list() propagates the first worker exception, if any
-        list(self._pool.map(run_worker, workers))
+        list(self._pool.map(run_worker, enumerate(workers)))

@@ -127,3 +127,13 @@ class SearchStats:
     #: persisted cache file or a previous request over the same catalogue /
     #: workload); these states are never re-evaluated
     reward_table_loaded: int = 0
+    #: picklable per-worker metrics-registry snapshot
+    #: (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): process-backend
+    #: workers attach theirs to the ``done`` reply and the coordinator merges
+    #: them — in worker order, like the reward table — into the aggregate
+    #: stats' ``workers.*`` namespace
+    metrics: Optional[dict] = None
+    #: span events (:class:`repro.obs.trace.SpanEvent`) a worker process
+    #: recorded while tracing was enabled; the coordinator adopts them into
+    #: its tracer so one exported trace covers every process of the run
+    spans: Optional[list] = None

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
 from ..difftree.nodes import node_id_space
 from ..difftree.tree import Difftree
+from ..obs import span
 from ..transform.engine import TransformEngine
 from .config import SearchConfig, SearchStats
 from .state import SearchState
@@ -294,7 +295,8 @@ class MCTSWorker:
                 self._reward_cache[key] = shared
                 self._note_reward_bounds(shared)
                 return shared
-        reward = self.reward_fn(state)
+        with span("search.reward"):
+            reward = self.reward_fn(state)
         self._reward_cache[key] = reward
         if self.reward_table is not None:
             self._pending_rewards[key] = reward

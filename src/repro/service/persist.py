@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..obs import span
 from .fingerprint import catalog_fingerprint, config_fingerprint, workload_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,10 +90,13 @@ class CacheStore:
 
     def __init__(self, root: str) -> None:
         self.root = Path(root)
-        #: load/save outcomes for observability (CLI summaries, tests)
+        #: load/save outcomes for observability (CLI summaries, tests, and
+        #: the run registry's ``persist.*`` counters)
         self.loads = 0
         self.load_rejects = 0
         self.saves = 0
+        #: load attempts that found no bundle file at all (cold cache)
+        self.misses = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pi2cache"
@@ -137,22 +141,23 @@ class CacheStore:
 
         self.root.mkdir(parents=True, exist_ok=True)
         target = self.path_for(key)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{key[:16]}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(_MAGIC)
-                handle.write(header)
-                handle.write(b"\n")
-                handle.write(payload)
-            os.replace(tmp_path, target)
-        except Exception:
+        with span("persist.save", key=key[:16], payload_bytes=len(payload)):
+            fd, tmp_path = tempfile.mkstemp(
+                dir=str(self.root), prefix=f".{key[:16]}.", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(_MAGIC)
+                    handle.write(header)
+                    handle.write(b"\n")
+                    handle.write(payload)
+                os.replace(tmp_path, target)
+            except Exception:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
         self.saves += 1
         return target
 
@@ -165,11 +170,13 @@ class CacheStore:
         deserializing attacker-controlled bytes.
         """
         path = self.path_for(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            return None
-        bundle = self._validate(key, blob)
+        with span("persist.load", key=key[:16]):
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                self.misses += 1
+                return None
+            bundle = self._validate(key, blob)
         if bundle is None:
             self.load_rejects += 1
         else:

@@ -43,6 +43,7 @@ from typing import Optional
 from ..core.pipeline import build_reward_setup, make_reward_fn
 from ..database.catalog import Catalog
 from ..difftree.nodes import worker_id_counter
+from ..obs import MetricsRegistry, worker_metrics_snapshot
 from ..search.backends.base import (
     ParallelSearchResult,
     RewardTable,
@@ -125,6 +126,10 @@ def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
         catalog = spec.materialize()
         #: context sha256 -> (reward setup, unpickled pipeline config)
         setups: OrderedDict[str, tuple] = OrderedDict()
+        # pool-lifetime counters: they persist across tasks (like the plan
+        # cache and memo they describe), so a snapshot is cumulative — a warm
+        # task's setup_cache_hits counts every task this worker has served
+        registry = MetricsRegistry()
         conn.send(("ready", 0.0))
         while True:
             message = conn.recv()
@@ -136,6 +141,11 @@ def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
                 warmup_start = time.perf_counter()
                 context_key = hashlib.sha256(context_bytes).hexdigest()
                 cached = setups.get(context_key)
+                if cached is None:
+                    registry.counter("pool.setup_cache_misses").inc()
+                else:
+                    registry.counter("pool.setup_cache_hits").inc()
+                registry.counter("pool.tasks").inc()
                 if cached is None:
                     asts, pipeline_config = pickle.loads(context_bytes)
                     setup = build_reward_setup(catalog, asts, pipeline_config)
@@ -170,13 +180,34 @@ def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
                     id_space=worker_id_counter(worker_index),
                 )
                 warmup_seconds = time.perf_counter() - warmup_start
-                conn.send(("task-ready", warmup_seconds))
+                # third element: this worker's pool-lifetime metric snapshot,
+                # merged by the coordinator at the task-ready barrier (the
+                # one-shot protocol's consumers index [1], so the extra
+                # element is backward-compatible)
+                conn.send(("task-ready", warmup_seconds, registry.snapshot()))
 
                 def cache_info(setup=setup):
                     memo = setup.memo.info() if setup.memo is not None else None
                     return setup.executor.plan_cache.info(), memo
 
-                serve_search(conn, worker, table, warmup_seconds, cache_info)
+                def metrics_snapshot(setup=setup):
+                    plan_info, memo_info = cache_info(setup)
+                    return worker_metrics_snapshot(
+                        plan_stats=setup.executor.stats,
+                        mapper_stats=setup.mapper.stats,
+                        plan_cache_info=plan_info,
+                        memo_info=memo_info,
+                        extra=registry.snapshot(),
+                    )
+
+                serve_search(
+                    conn,
+                    worker,
+                    table,
+                    warmup_seconds,
+                    cache_info,
+                    metrics_snapshot=metrics_snapshot,
+                )
             elif message[0] == "shutdown":
                 conn.send(("bye",))
                 return
@@ -209,6 +240,9 @@ class WorkerPool:
         self.workers = max(1, workers)
         self.tasks_served = 0
         self.closed = False
+        #: merged pool-lifetime worker metrics, refreshed at every task-ready
+        #: barrier (see :meth:`run_task`)
+        self.metrics = MetricsRegistry()
         self._registry: Optional[SharedCatalogRegistry] = None
 
         spawn_start = time.perf_counter()
@@ -265,9 +299,19 @@ class WorkerPool:
         try:
             for conn in self._connections:
                 conn.send(("task", task_bytes))
-            warmups = [
-                expect_reply(conn, "task-ready")[1] for conn in self._connections
+            replies = [
+                expect_reply(conn, "task-ready") for conn in self._connections
             ]
+            warmups = [reply[1] for reply in replies]
+            # merge the per-worker pool-lifetime snapshots deterministically
+            # (worker order); snapshots are cumulative, so the merged registry
+            # is rebuilt from the latest snapshot of every worker rather than
+            # accumulated across tasks
+            merged = MetricsRegistry()
+            for reply in replies:
+                if len(reply) > 2 and reply[2]:
+                    merged.merge(reply[2])
+            self.metrics = merged
             finals, total_iterations, sync_rounds, early_stopped = drive_search(
                 self._connections, search_config, coordinator_table
             )

@@ -34,6 +34,7 @@ from ..core.pipeline import GenerationRuntime, generate_interface
 from ..database.catalog import Catalog
 from ..database.datasets import standard_catalog
 from ..difftree.builder import parse_queries
+from ..obs import GLOBAL_METRICS, MetricsRegistry, publish_request_stats, span
 from ..search.backends import resolve_backend_name
 from ..search.backends.base import RewardTable
 from .persist import persistence_key
@@ -157,9 +158,10 @@ class GenerationService:
         runtime = GenerationRuntime(
             backend_instance=backend, reward_table=table, pool=pool_state
         )
-        result = generate_interface(
-            asts, catalog=self.catalog, config=config, runtime=runtime
-        )
+        with span("service.request", pool=pool_state, key=key[:16]):
+            result = generate_interface(
+                asts, catalog=self.catalog, config=config, runtime=runtime
+            )
         stats = result.search_stats
         # the table may have been populated by a persisted-cache load inside
         # the pipeline; what the *search* saw preloaded is authoritative
@@ -174,6 +176,15 @@ class GenerationService:
             backend=stats.backend,
         )
         self.requests.append(request)
+        # fold the request view into the run's metrics (and the process-wide
+        # accumulator) so service.* rides along in trace/stats exports
+        registry = MetricsRegistry()
+        publish_request_stats(request, registry)
+        if self._pool is not None:
+            registry.merge(self._pool.metrics.snapshot())
+        GLOBAL_METRICS.merge(registry.snapshot())
+        if result.metrics is not None:
+            result.metrics.update(registry.as_dict())
         return result
 
     def generate_workload(self, workload, config: Optional[PipelineConfig] = None):

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..database.catalog import Catalog
 from ..database.table import Table
+from ..obs import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
@@ -234,7 +235,10 @@ class SharedCatalogRegistry:
         existing = self._segments.get(fingerprint)
         if existing is not None:
             return existing[1]
+        with span("shm.register", fingerprint=fingerprint[:16]):
+            return self._register_new(catalog, fingerprint)
 
+    def _register_new(self, catalog: Catalog, fingerprint: str) -> CatalogManifest:
         # encode every column first so the segment is sized exactly once
         tables: list[TableManifest] = []
         buffers: list[bytes] = []
@@ -331,21 +335,22 @@ class SharedCatalogRegistry:
         The mapping is closed as soon as the columns are decoded; attachers
         never unlink (the registry that created the segment owns it).
         """
-        shm = _attach_readonly(manifest.segment)
-        try:
-            buf = shm.buf
-            tables = []
-            for table_manifest in manifest.tables:
-                col_data = [
-                    _decode_column(buf, column)
-                    for column in table_manifest.column_manifests
-                ]
-                tables.append(
-                    Table.from_columns(
-                        table_manifest.name, table_manifest.columns, col_data
+        with span("shm.attach", segment=manifest.segment):
+            shm = _attach_readonly(manifest.segment)
+            try:
+                buf = shm.buf
+                tables = []
+                for table_manifest in manifest.tables:
+                    col_data = [
+                        _decode_column(buf, column)
+                        for column in table_manifest.column_manifests
+                    ]
+                    tables.append(
+                        Table.from_columns(
+                            table_manifest.name, table_manifest.columns, col_data
+                        )
                     )
-                )
-            del buf
-        finally:
-            shm.close()
-        return Catalog(tables)
+                del buf
+            finally:
+                shm.close()
+            return Catalog(tables)

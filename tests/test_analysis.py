@@ -611,6 +611,102 @@ def test_shm_lifecycle_fires_at_module_level_and_pragma_suppresses():
     assert len(suppressed) == 1
 
 
+# -- no-wallclock-in-key -------------------------------------------------------
+
+
+def test_wallclock_key_fires_on_one_hop_flow():
+    fired, _ = findings_for(
+        """
+        import time
+
+        def lookup(cache, sql):
+            t = time.perf_counter()
+            key = (sql, t)
+            return cache.get(key)
+        """,
+        "no-wallclock-in-key",
+    )
+    assert len(fired) == 1
+    assert "'t'" in fired[0].message and "assignment to 'key'" in fired[0].message
+
+
+def test_wallclock_key_fires_in_key_producer_and_producer_call():
+    fired, _ = findings_for(
+        """
+        from time import perf_counter
+
+        def make_key(sql):
+            started = perf_counter()
+            return (sql, started)
+        """,
+        "no-wallclock-in-key",
+    )
+    assert fired and all("make_key()" in f.message for f in fired)
+
+    fired, _ = findings_for(
+        """
+        import time
+
+        def request(catalog, sql):
+            started_at = time.time()
+            return persistence_key(catalog, sql, started_at)
+        """,
+        "no-wallclock-in-key",
+    )
+    assert len(fired) == 1
+    assert "persistence_key()" in fired[0].message
+
+
+def test_wallclock_key_quiet_on_timing_for_stats():
+    fired, _ = findings_for(
+        """
+        import time
+
+        def run(stats, sql, cache):
+            start = time.perf_counter()
+            key = canonical(sql)
+            result = cache.get(key)
+            stats.seconds += time.perf_counter() - start
+            return result
+
+        def fingerprint(tree):
+            return tree.canonical_text()
+        """,
+        "no-wallclock-in-key",
+    )
+    assert fired == []
+
+
+def test_wallclock_key_fires_on_span_object_and_pragma_suppresses():
+    fired, _ = findings_for(
+        """
+        from repro.obs import span
+
+        def evaluate(state, cache):
+            with span("reward") as sp:
+                key = (state.text, sp)
+                return cache.get(key)
+        """,
+        "no-wallclock-in-key",
+    )
+    assert len(fired) == 1 and "span object" in fired[0].message
+
+    fired, suppressed = findings_for(
+        """
+        import time
+
+        def bucket(sql):
+            now = time.time()
+            # repro: allow-no-wallclock-in-key -- TTL bucket wants coarse time
+            key = (sql, int(now // 60))
+            return key
+        """,
+        "no-wallclock-in-key",
+    )
+    assert fired == []
+    assert len(suppressed) == 1
+
+
 # -- framework: pragmas, allow-all, parse errors -------------------------------
 
 
@@ -736,7 +832,7 @@ def test_cli_bad_rule_and_missing_paths_exit_2(tmp_path, capsys):
     capsys.readouterr()
 
 
-def test_cli_list_rules_names_all_six(capsys):
+def test_cli_list_rules_names_all_seven(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for rule in (
@@ -746,6 +842,7 @@ def test_cli_list_rules_names_all_six(capsys):
         "unpicklable-worker-state",
         "nondeterministic-key",
         "shm-lifecycle",
+        "no-wallclock-in-key",
     ):
         assert rule in out
 
