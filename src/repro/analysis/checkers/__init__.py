@@ -12,6 +12,7 @@ rule                        guards
 ``nondeterministic-key``    id()/hash()/env/time values inside keys
 ``shm-lifecycle``           shared-memory segments released by an owner
 ``no-wallclock-in-key``     timing values flowing (one hop) into keys
+``unbounded-recv``          blocking receives supervised by a deadline
 ========================== ==================================================
 """
 
@@ -20,5 +21,6 @@ from . import lock_guard  # noqa: F401
 from . import nondet_key  # noqa: F401
 from . import pickle_safety  # noqa: F401
 from . import shm_lifecycle  # noqa: F401
+from . import unbounded_recv  # noqa: F401
 from . import unordered_iteration  # noqa: F401
 from . import wallclock_key  # noqa: F401

@@ -1,0 +1,173 @@
+"""``unbounded-recv``: blocking receives must be supervised by a deadline.
+
+The worker protocols (:mod:`repro.search.backends.process`,
+:mod:`repro.service.pool`) are request/reply over pipes.  A bare
+``conn.recv()`` on the coordinator side blocks forever when the peer
+crashed before sending or hangs mid-computation — the exact wedge the
+supervision layer exists to prevent: every coordinator receive must
+multiplex the pipe with the worker's process sentinel under a deadline
+(:func:`repro.search.backends.process.supervised_recv`).
+
+The rule flags, per enclosing function scope:
+
+* zero-argument ``.recv()`` on any receiver;
+* zero-argument ``.get()`` on queue-shaped receivers (name contains
+  ``queue``/``inbox``/``jobs``/``tasks``/``results``) — ``dict.get`` and
+  friends always pass a key, so they never match;
+* zero-argument ``.join()`` on process/thread-shaped receivers — a join
+  with a ``timeout`` argument is already bounded.
+
+A scope is *supervised* — and all its receives exempt — when it also calls
+``connection.wait(..., timeout=...)`` (or any ``wait`` with a timeout /
+second positional argument) or ``.poll(<timeout>)``: those are the two
+bounded primitives a correct receive loop is built from.  Worker-side idle
+loops whose liveness signal *is* the ``EOFError`` of a dead peer are the
+intentional exception; mark them
+``# repro: allow-unbounded-recv -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from ..core import Checker, FileContext, Finding, register
+
+#: receivers whose zero-arg ``.get()`` is a blocking queue read
+_QUEUEISH_RE = re.compile(r"queue|inbox|jobs|tasks|results", re.IGNORECASE)
+
+#: receivers whose zero-arg ``.join()`` waits on a process or thread
+_PROCESSISH_RE = re.compile(r"proc|process|thread|worker", re.IGNORECASE)
+
+
+def _receiver_hint(func: ast.Attribute) -> str:
+    """A best-effort name for the receiver expression (for the heuristics)."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Subscript):
+        return _receiver_hint_expr(value.value)
+    return ""
+
+
+def _receiver_hint_expr(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _walk_scope(scope: ast.AST):
+    """Yield descendants of ``scope`` without entering nested def scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_bounded_wait(node: ast.Call) -> bool:
+    """``wait(objects, timeout)`` / ``wait(..., timeout=...)`` in any spelling."""
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if name != "wait":
+        return False
+    if any(kw.arg == "timeout" for kw in node.keywords):
+        return True
+    return len(node.args) >= 2
+
+
+def _is_bounded_poll(node: ast.Call) -> bool:
+    """``conn.poll(timeout)`` — a poll *with* an argument is a deadline."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "poll"):
+        return False
+    return bool(node.args) or bool(node.keywords)
+
+
+def _scope_is_supervised(scope: ast.AST) -> bool:
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Call) and (
+            _is_bounded_wait(node) or _is_bounded_poll(node)
+        ):
+            return True
+    return False
+
+
+@register
+class UnboundedRecvChecker(Checker):
+    rule = "unbounded-recv"
+    description = (
+        "blocking recv()/queue-get()/process-join() without a deadline: "
+        "supervise via connection.wait(..., timeout=...) or poll(timeout), "
+        "or justify the EOF-as-liveness pattern with a pragma"
+    )
+    dynamic_backstop = (
+        "tests/test_faults.py fault matrix (killed and hung workers must "
+        "surface as WorkerFailure under the round deadline, not wedge the "
+        "coordinator)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        self._visit_scope(ctx, ctx.tree, findings)
+        return findings
+
+    def _visit_scope(
+        self, ctx: FileContext, scope: ast.AST, findings: list[Finding]
+    ) -> None:
+        supervised = _scope_is_supervised(scope)
+        for node in _walk_scope(scope):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                self._visit_scope(ctx, node, findings)
+            elif isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._visit_scope(ctx, child, findings)
+            elif not supervised and isinstance(node, ast.Call):
+                finding = self._check_call(ctx, node)
+                if finding is not None:
+                    findings.append(finding)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Optional[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if node.args or node.keywords:
+            return None
+        hint = _receiver_hint(func)
+        if func.attr == "recv":
+            return self.finding(
+                ctx,
+                node,
+                "bare recv() blocks forever on a crashed or hung peer; "
+                "use supervised_recv / connection.wait with a timeout",
+            )
+        if func.attr == "get" and _QUEUEISH_RE.search(hint):
+            return self.finding(
+                ctx,
+                node,
+                f"{hint}.get() without a timeout blocks forever when no "
+                "producer is left; pass a timeout or supervise the wait",
+            )
+        if func.attr == "join" and _PROCESSISH_RE.search(hint):
+            return self.finding(
+                ctx,
+                node,
+                f"{hint}.join() without a timeout can wait forever on a "
+                "wedged process; pass timeout= and handle the survivor",
+            )
+        return None

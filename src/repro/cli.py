@@ -34,11 +34,19 @@ from typing import Optional, Sequence
 from .core.config import PipelineConfig
 from .core.pipeline import generate_interface
 from .database.datasets import standard_catalog
+from .faults import GenerationFailure
 from .database.executor import Executor
 from .interface.export import export_html, interface_to_json
 from .interface.runtime import InterfaceRuntime
 from .taxonomy import classify_interface
 from .workloads import WORKLOADS, get_workload
+
+#: Exit code on Ctrl-C — the conventional 128 + SIGINT, *after* an orderly
+#: teardown (pool drained, shared memory released, traces flushed).
+EXIT_INTERRUPTED = 130
+
+#: Exit code when every rung of the service's degradation ladder failed.
+EXIT_GENERATION_FAILED = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-jsonl",
         help="like --trace, but write the span event log as JSON lines",
     )
+    _add_resilience_arguments(gen)
 
     serve = sub.add_parser(
         "serve",
@@ -132,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["serial", "thread", "process"], default=None
     )
     serve.add_argument("--cache-dir", help="cross-run cache persistence directory")
+    _add_resilience_arguments(serve)
 
     sub.add_parser("list-workloads", help="list the built-in evaluation workloads")
 
@@ -146,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("trace", help="a file written by generate --trace / --trace-jsonl")
 
     return parser
+
+
+def _add_resilience_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per request; when it expires the service "
+        "degrades to the serial in-process backend instead of waiting",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervised task replays after a worker failure before the "
+        "pool gives up and the service degrades (default 2)",
+    )
 
 
 def _load_queries(args) -> list[str]:
@@ -176,6 +205,10 @@ def _build_config(args) -> PipelineConfig:
         config.search.backend = args.backend
     if getattr(args, "cache_dir", None):
         config.cache_dir = args.cache_dir
+    if getattr(args, "deadline", None) is not None:
+        config.search.request_deadline_seconds = max(0.0, args.deadline)
+    if getattr(args, "retries", None) is not None:
+        config.search.task_retries = max(0, args.retries)
     return config
 
 
@@ -215,26 +248,35 @@ def _command_generate(args) -> int:
         _enable_tracing()
 
     print(f"generating an interface from {len(queries)} queries …", file=sys.stderr)
-    if args.pool:
-        from .service import GenerationService
+    try:
+        if args.pool:
+            from .service import GenerationService
 
-        with GenerationService(
-            catalog=catalog, config=config, cache_dir=args.cache_dir
-        ) as service:
+            # the context manager is the Ctrl-C guarantee: pool workers are
+            # drained and the shared-memory segment unlinked on the way out
+            with GenerationService(
+                catalog=catalog, config=config, cache_dir=args.cache_dir
+            ) as service:
+                for run in range(repeats):
+                    result = service.generate(queries)
+                    print(
+                        f"request {run + 1}/{repeats}: {service.requests[-1].summary()}",
+                        file=sys.stderr,
+                    )
+        else:
             for run in range(repeats):
-                result = service.generate(queries)
-                print(
-                    f"request {run + 1}/{repeats}: {service.requests[-1].summary()}",
-                    file=sys.stderr,
-                )
-    else:
-        for run in range(repeats):
-            result = generate_interface(queries, catalog=catalog, config=config)
-            if repeats > 1:
-                print(
-                    f"request {run + 1}/{repeats}: {result.total_seconds:.3f}s",
-                    file=sys.stderr,
-                )
+                result = generate_interface(queries, catalog=catalog, config=config)
+                if repeats > 1:
+                    print(
+                        f"request {run + 1}/{repeats}: {result.total_seconds:.3f}s",
+                        file=sys.stderr,
+                    )
+    except KeyboardInterrupt:
+        # flush whatever spans were recorded before the interrupt so the
+        # partial run stays debuggable, then let main() report the exit code
+        if args.trace or args.trace_jsonl:
+            _write_traces(args, None)
+        raise
     interface = result.interface
 
     print(interface.describe())
@@ -358,6 +400,10 @@ def _command_serve(args) -> int:
                             "warmup_seconds": round(stats.warmup_seconds, 4),
                             "reward_table_loaded": stats.reward_table_loaded,
                             "reward_table_hits": stats.reward_table_hits,
+                            "retries": stats.retries,
+                            "workers_replaced": stats.workers_replaced,
+                            "degraded": stats.degraded,
+                            "deadline_exceeded": stats.deadline_exceeded,
                             "cost": result.cost,
                             "views": len(result.interface.views),
                         }
@@ -435,18 +481,32 @@ def _command_show(args) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``Ctrl-C`` exits with :data:`EXIT_INTERRUPTED` (130) after an orderly
+    teardown — the service context managers inside each command drain the
+    worker pool and release shared memory on the way out, and ``generate``
+    flushes any recorded trace first.  A request that failed on every
+    degradation rung exits with :data:`EXIT_GENERATION_FAILED`.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _command_generate(args)
-    if args.command == "serve":
-        return _command_serve(args)
-    if args.command == "list-workloads":
-        return _command_list_workloads()
-    if args.command == "show":
-        return _command_show(args)
-    if args.command == "stats":
-        return _command_stats(args)
+    try:
+        if args.command == "generate":
+            return _command_generate(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "list-workloads":
+            return _command_list_workloads()
+        if args.command == "show":
+            return _command_show(args)
+        if args.command == "stats":
+            return _command_stats(args)
+    except KeyboardInterrupt:
+        print("interrupted: pool drained, resources released", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except GenerationFailure as exc:
+        print(f"generation failed on every rung: {exc}", file=sys.stderr)
+        return EXIT_GENERATION_FAILED
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from .. import faults
 from ..cost.model import CostModel
 from ..database.catalog import Catalog
 from ..database.datasets import standard_catalog
@@ -161,6 +162,9 @@ def make_reward_fn(
     seed = config.seed
 
     def reward_fn(state: SearchState) -> float:
+        # supervision test hook: a no-op None check unless a fault plan is
+        # installed (see repro.faults)
+        faults.maybe_hang("hang-in-reward-eval", worker=worker_index)
         digest = hashlib.sha256(
             f"{seed}|{state.trees_fingerprint()}".encode("utf-8")
         ).digest()
@@ -357,18 +361,42 @@ def generate_interface(
         return make_reward_fn(setup, config, worker_index)
 
     search_start = time.perf_counter()
-    with span("pipeline.search", workers=config.search.workers):
-        result = parallel_search(
-            trees,
-            config=config.search,
-            executor=executor,
-            mapping_memo=setup.memo,
-            engine_factory=engine_factory,
-            reward_factory=reward_factory,
-            process_spec=_process_spec_for(catalog, asts, config),
-            reward_table=reward_table,
-            backend_instance=runtime.backend_instance,
-        )
+    try:
+        with span("pipeline.search", workers=config.search.workers):
+            result = parallel_search(
+                trees,
+                config=config.search,
+                executor=executor,
+                mapping_memo=setup.memo,
+                engine_factory=engine_factory,
+                reward_factory=reward_factory,
+                process_spec=_process_spec_for(catalog, asts, config),
+                reward_table=reward_table,
+                backend_instance=runtime.backend_instance,
+            )
+    except (faults.WorkerFailure, faults.DeadlineExceeded):
+        if runtime.backend_instance is not None:
+            # a service-managed backend: its degradation ladder (fresh pool,
+            # then serial) owns the recovery — don't double-degrade here
+            raise
+        # one-shot process backend failed beyond its own retries: re-run on
+        # the serial in-process backend.  Rewards are pure functions of
+        # (seed, state), so the serial result is byte-identical to what the
+        # process run would have produced
+        from ..search.backends.serial import SerialBackend
+
+        with span("pipeline.search", workers=config.search.workers, degraded="serial"):
+            result = parallel_search(
+                trees,
+                config=config.search,
+                executor=executor,
+                mapping_memo=setup.memo,
+                engine_factory=engine_factory,
+                reward_factory=reward_factory,
+                reward_table=reward_table,
+                backend_instance=SerialBackend(),
+            )
+        result.stats.degraded = "serial"
     search_seconds = time.perf_counter() - search_start
     if runtime.pool is not None:
         result.stats.pool = runtime.pool

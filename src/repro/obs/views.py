@@ -81,6 +81,7 @@ SEARCH_STATS_EXEMPT = {
     "pool": "string label (warm/cold), mirrored by service.* counters",
     "metrics": "the per-worker registry snapshot itself (the merge payload)",
     "spans": "per-worker span events shipped to the coordinator tracer",
+    "degraded": "string rung label; counted via the search.degraded counter",
 }
 
 #: search metrics whose merged totals are deterministic across backends on a
@@ -108,6 +109,8 @@ def publish_search_stats(stats, registry: MetricsRegistry) -> None:
         registry.counter(metric).inc(int(getattr(stats, fname)))
     for fname, metric in sorted(SEARCH_STATS_GAUGES.items()):
         registry.gauge(metric).set(float(getattr(stats, fname)))
+    if getattr(stats, "degraded", None):
+        registry.counter("search.degraded").inc()
 
 
 # ---------------------------------------------------------------------------
@@ -117,6 +120,9 @@ def publish_search_stats(stats, registry: MetricsRegistry) -> None:
 REQUEST_STATS_COUNTERS = {
     "reward_table_loaded": "service.reward_table_loaded",
     "reward_table_hits": "service.reward_table_hits",
+    "retries": "service.retries",
+    "workers_replaced": "service.workers_replaced",
+    "deadline_exceeded": "service.deadline_exceeded",
 }
 
 REQUEST_STATS_GAUGES = {
@@ -127,6 +133,8 @@ REQUEST_STATS_GAUGES = {
 REQUEST_STATS_EXEMPT = {
     "pool": "string label; counted via service.requests_warm / service.requests_cold",
     "backend": "string label, not a quantity",
+    "degraded": "string rung label; counted via service.degraded_fresh_pool "
+    "/ service.degraded_serial",
 }
 
 
@@ -141,6 +149,9 @@ def publish_request_stats(stats, registry: MetricsRegistry) -> None:
         registry.counter("service.requests_warm").inc()
     elif stats.pool == "cold":
         registry.counter("service.requests_cold").inc()
+    degraded = getattr(stats, "degraded", None)
+    if degraded:
+        registry.counter(f"service.degraded_{degraded.replace('-', '_')}").inc()
 
 
 # ---------------------------------------------------------------------------

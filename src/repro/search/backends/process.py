@@ -23,14 +23,24 @@ coordinator → worker      meaning
 worker → coordinator      meaning
 ========================  ===================================================
 ``("ready", warmup_s)``   context rebuilt, initial state evaluated
-``("sync", fp, reward,    end-of-round report: best fingerprint + reward,
-  state?, pending,        serialized trees only when the best changed since
-  stale)``                the last report, this round's reward delta, and
-                          the worker's staleness counter
+``("sync", seq, fp,       end-of-round report: the round sequence number,
+  reward, state?,         best fingerprint + reward, serialized trees only
+  pending, stale)``       when the best changed since the last report, this
+                          round's reward delta, and the staleness counter
 ``("done", state, reward, final best state (serialized), reward, and the
   stats)``                worker's :class:`SearchStats`
 ``("error", repr)``       an exception escaped the worker loop
 ========================  ===================================================
+
+Supervision: the coordinator never blocks indefinitely on a worker.  Every
+receive goes through :func:`supervised_recv`, which multiplexes the pipe
+with the worker's process sentinel via :func:`multiprocessing.connection.wait`
+under a per-round deadline — a crashed worker is detected the instant its
+sentinel fires, a hung one when the deadline lapses, and both surface as
+:class:`repro.faults.WorkerFailure` instead of a wedged coordinator.  Sync
+replies carry a sequence number so a duplicated message (see
+:mod:`repro.faults`) is discarded instead of desynchronizing the protocol,
+and a dropped one is caught by the deadline.
 
 The ``round``/``sync``/``finish`` core of the protocol is factored into
 :func:`serve_search` (worker side) and :func:`drive_search` (coordinator
@@ -53,9 +63,12 @@ import multiprocessing
 import os
 import pickle
 import time
+from multiprocessing import connection as _mp_connection
 from typing import Callable, Optional
 
+from ... import faults
 from ...difftree.nodes import worker_id_counter
+from ...faults import DeadlineExceeded, WorkerFailure
 from ...obs import TRACER, span
 from ..config import SearchConfig, SearchStats
 from ..mcts import MCTSWorker
@@ -100,14 +113,70 @@ def _mp_context():
     return multiprocessing.get_context("spawn")
 
 
-def expect_reply(conn, kind: str):
-    """Receive the next worker message, unwrapping ``error`` replies."""
-    reply = conn.recv()
+def supervised_recv(
+    conn,
+    process=None,
+    deadline_at: Optional[float] = None,
+    request_deadline_at: Optional[float] = None,
+    worker: Optional[int] = None,
+):
+    """Receive one worker message without ever blocking indefinitely.
+
+    Multiplexes the connection with the worker's process sentinel through
+    :func:`multiprocessing.connection.wait`: a crashed worker raises
+    :class:`WorkerFailure` the moment its sentinel fires, a silent one
+    raises when ``deadline_at`` (the per-round deadline) lapses, and an
+    expired ``request_deadline_at`` raises :class:`DeadlineExceeded` so the
+    caller can degrade instead of retrying.  The connection is always
+    checked before the sentinel — a worker that replied and *then* died
+    still gets its buffered reply delivered.
+    """
+    while True:
+        now = time.monotonic()
+        if request_deadline_at is not None and now >= request_deadline_at:
+            raise DeadlineExceeded(
+                f"request deadline expired waiting on worker {worker}"
+            )
+        if deadline_at is not None and now >= deadline_at:
+            raise WorkerFailure(worker, "hung", "no reply within the round deadline")
+        limits = [d for d in (deadline_at, request_deadline_at) if d is not None]
+        timeout = (min(limits) - now) if limits else None
+        waitables = [conn]
+        if process is not None:
+            waitables.append(process.sentinel)
+        ready = _mp_connection.wait(waitables, timeout=timeout)
+        if not ready:
+            continue  # loop re-checks which deadline actually tripped
+        if conn in ready:
+            try:
+                return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerFailure(
+                    worker, "crashed", f"connection dropped mid-protocol ({exc!r})"
+                ) from exc
+        exitcode = getattr(process, "exitcode", None)
+        raise WorkerFailure(
+            worker, "crashed", f"process exited (exitcode={exitcode}) before replying"
+        )
+
+
+def check_reply(reply, kind: str, worker: Optional[int] = None):
+    """Validate a received worker message, unwrapping ``error`` replies."""
     if reply[0] == "error":
-        raise RuntimeError(f"search worker process failed: {reply[1]}")
-    if reply[0] != kind:  # pragma: no cover - defensive
-        raise RuntimeError(f"expected {kind!r} reply, got {reply[0]!r}")
+        raise WorkerFailure(worker, "faulted", f"search worker process failed: {reply[1]}")
+    if reply[0] != kind:
+        raise WorkerFailure(worker, "protocol", f"expected {kind!r} reply, got {reply[0]!r}")
     return reply
+
+
+def expect_reply(conn, kind: str):
+    """Receive the next worker message, unwrapping ``error`` replies.
+
+    Sentinel-free convenience used where no process handle is at hand; a
+    dead peer still surfaces as :class:`WorkerFailure` via the dropped
+    connection rather than a hang.
+    """
+    return check_reply(supervised_recv(conn), kind)
 
 
 # ---------------------------------------------------------------------------
@@ -122,16 +191,22 @@ def serve_search(
     warmup_seconds: float,
     cache_info: Callable[[], tuple[Optional[dict], Optional[dict]]],
     metrics_snapshot: Optional[Callable[[], Optional[dict]]] = None,
-) -> None:
-    """Serve ``round`` messages for one search until ``finish``.
+    worker_index: int = 0,
+) -> bool:
+    """Serve ``round`` messages for one search until ``finish`` / ``abort``.
 
     Shared by the one-shot worker main below and the pooled worker main in
     :mod:`repro.service.pool` — the pooled variant calls this once per task
-    and then returns to its idle loop instead of exiting.
+    and then returns to its idle loop instead of exiting.  Returns ``True``
+    when the search finished, ``False`` when the coordinator aborted it
+    (supervision is replaying the task after another worker failed).
     """
     last_sent_fp: Optional[str] = None
+    seq = 0
     while True:
-        message = conn.recv()
+        # worker side: the coordinator's death surfaces as EOFError, caught
+        # by the worker mains — a deadline here would only limit idle time
+        message = conn.recv()  # repro: allow-unbounded-recv -- EOFError on coordinator death is the liveness signal
         if message[0] == "round":
             _, round_size, adopt_bytes, adopt_reward, delta = message
             if table is not None and delta:
@@ -148,16 +223,27 @@ def serve_search(
             if best_fp != last_sent_fp:
                 state_bytes = dump_state(worker.best_state)
                 last_sent_fp = best_fp
-            conn.send(
-                (
-                    "sync",
-                    best_fp,
-                    worker.best_reward,
-                    state_bytes,
-                    worker.take_pending_rewards(),
-                    worker.iterations_since_improvement,
-                )
+            reply = (
+                "sync",
+                seq,
+                best_fp,
+                worker.best_reward,
+                state_bytes,
+                worker.take_pending_rewards(),
+                worker.iterations_since_improvement,
             )
+            seq += 1
+            faults.maybe_kill("kill-worker-before-sync", worker=worker_index)
+            if faults.fire("drop-sync-message", worker=worker_index):
+                continue  # the coordinator's round deadline catches this
+            conn.send(reply)
+            if faults.fire("duplicate-sync-message", worker=worker_index):
+                conn.send(reply)  # discarded coordinator-side via seq
+        elif message[0] == "abort":
+            # supervision is recovering from another worker's failure: drop
+            # this task's state and hand control back to the idle loop
+            conn.send(("aborted",))
+            return False
         elif message[0] == "finish":
             stats = worker.stats
             stats.backend = "process"
@@ -176,7 +262,7 @@ def serve_search(
             conn.send(
                 ("done", dump_state(worker.best_state), worker.best_reward, stats)
             )
-            return
+            return True
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown command {message[0]!r}")
 
@@ -188,6 +274,9 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
         spec = payload["spec"]
         config: SearchConfig = payload["config"]
         shared_rewards: bool = payload["shared_rewards"]
+        # the coordinator's fault plan rides in the payload so injection does
+        # not depend on environment inheritance or start-method timing
+        faults.install_local(payload.get("faults"))
 
         warmup_start = time.perf_counter()
         engine, reward_fn = spec.build(worker_index, config)
@@ -216,6 +305,7 @@ def _worker_main(conn, payload_bytes: bytes, worker_index: int) -> None:
             warmup_seconds,
             spec.cache_info,
             metrics_snapshot=getattr(spec, "metrics_snapshot", None),
+            worker_index=worker_index,
         )
     except Exception as exc:  # pragma: no cover - crash reporting path
         try:
@@ -235,6 +325,8 @@ def drive_search(
     connections: list,
     config: SearchConfig,
     table: Optional[RewardTable],
+    processes: Optional[list] = None,
+    request_deadline_at: Optional[float] = None,
 ) -> tuple[list, int, int, bool]:
     """Drive the round / sync / finish protocol over live worker connections.
 
@@ -242,9 +334,53 @@ def drive_search(
     ``finals`` is each worker's ``("done", state, reward, stats)`` reply.
     The caller owns the connections: the one-shot backend tears its workers
     down afterwards, the pooled backend leaves them idling for the next task.
+
+    Supervision: when ``processes`` is given, every receive watches the
+    worker's sentinel and the config's per-round deadline
+    (``round_deadline_seconds``); crashes and hangs raise
+    :class:`WorkerFailure` with the failing worker's index, and an expired
+    ``request_deadline_at`` raises :class:`DeadlineExceeded`.  Duplicate
+    sync replies (stale sequence numbers) are discarded; dropped ones are
+    indistinguishable from a hang and handled by the deadline.
     """
     workers = len(connections)
     states: dict[str, bytes] = {}  # best states seen, by fingerprint
+    round_deadline = getattr(config, "round_deadline_seconds", None)
+
+    def _send(index: int, message) -> None:
+        try:
+            connections[index].send(message)
+        except OSError as exc:
+            raise WorkerFailure(
+                index, "crashed", f"send failed ({exc!r})"
+            ) from exc
+
+    def _receive(index: int, kind: str, expected_seq: Optional[int] = None):
+        process = processes[index] if processes is not None else None
+        deadline_at = (
+            time.monotonic() + round_deadline if round_deadline else None
+        )
+        while True:
+            reply = supervised_recv(
+                connections[index],
+                process,
+                deadline_at=deadline_at,
+                request_deadline_at=request_deadline_at,
+                worker=index,
+            )
+            if reply[0] == "sync":
+                if kind != "sync":
+                    continue  # stale sync ahead of a done/aborted reply
+                if expected_seq is not None and reply[1] < expected_seq:
+                    continue  # duplicate of an earlier round: discard
+            reply = check_reply(reply, kind, worker=index)
+            if kind == "sync" and expected_seq is not None and reply[1] != expected_seq:
+                raise WorkerFailure(
+                    index,
+                    "protocol",
+                    f"sync round {reply[1]} arrived while expecting {expected_seq}",
+                )
+            return reply
 
     total_iterations = 0
     sync_rounds = 0
@@ -256,20 +392,21 @@ def drive_search(
         # the last worker's sync reply (the workers' own spans arrive later,
         # attached to their final stats)
         with span("search.round", round=sync_rounds, size=round_size):
-            for conn in connections:
-                conn.send(
+            for index in range(workers):
+                _send(
+                    index,
                     (
                         "round",
                         round_size,
                         adopt[0] if adopt is not None else None,
                         adopt[1] if adopt is not None else 0.0,
                         pending_delta,
-                    )
+                    ),
                 )
             syncs: list[WorkerSync] = []
-            for conn in connections:
-                _, fp, reward, state_bytes, pending, stale = expect_reply(
-                    conn, "sync"
+            for index in range(workers):
+                _, _seq, fp, reward, state_bytes, pending, stale = _receive(
+                    index, "sync", expected_seq=sync_rounds
                 )
                 if state_bytes is not None:
                     states[fp] = state_bytes
@@ -297,9 +434,9 @@ def drive_search(
             early_stopped = True
             break
 
-    for conn in connections:
-        conn.send(("finish",))
-    finals = [expect_reply(conn, "done") for conn in connections]
+    for index in range(workers):
+        _send(index, ("finish",))
+    finals = [_receive(index, "done") for index in range(workers)]
     return finals, total_iterations, sync_rounds, early_stopped
 
 
@@ -393,9 +530,15 @@ class ProcessBackend:
                 "shared_rewards": config.shared_rewards,
                 "initial_state": dump_state(SearchState(job.initial_trees)),
                 "table_seed": table_seed,
+                "faults": faults.current_spec(),
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+        request_deadline = getattr(config, "request_deadline_seconds", None)
+        request_deadline_at = (
+            time.monotonic() + request_deadline if request_deadline else None
+        )
+        round_deadline = getattr(config, "round_deadline_seconds", None)
         connections = []
         processes = []
         try:
@@ -409,7 +552,19 @@ class ProcessBackend:
                 connections.append(parent_conn)
                 processes.append(process)
 
-            warmups = [expect_reply(conn, "ready")[1] for conn in connections]
+            warmups = []
+            for index, conn in enumerate(connections):
+                ready_deadline_at = (
+                    time.monotonic() + round_deadline if round_deadline else None
+                )
+                reply = supervised_recv(
+                    conn,
+                    processes[index],
+                    deadline_at=ready_deadline_at,
+                    request_deadline_at=request_deadline_at,
+                    worker=index,
+                )
+                warmups.append(check_reply(reply, "ready", worker=index)[1])
             # wall-clock until every worker finished rebuilding + evaluating
             # the initial state (they warm concurrently); per-worker costs
             # are surfaced through the individual worker stats
@@ -424,7 +579,11 @@ class ProcessBackend:
             )
 
             finals, total_iterations, sync_rounds, early_stopped = drive_search(
-                connections, config, table
+                connections,
+                config,
+                table,
+                processes=processes,
+                request_deadline_at=request_deadline_at,
             )
         finally:
             for conn in connections:

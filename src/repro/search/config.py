@@ -47,6 +47,24 @@ class SearchConfig:
             (and pre-seeding the table from a persisted cache) changes cost
             but never trajectories: results are byte-identical with sharing
             on or off, cold or warm.
+        round_deadline_seconds: supervision deadline on every worker reply
+            in the process protocols (spawn ``ready``, per-round ``sync``,
+            final ``done``): a worker silent for longer is declared hung and
+            replaced / retried.  ``None`` disables hang detection (crashes
+            are still caught through process sentinels).
+        request_deadline_seconds: wall-clock budget for one whole search
+            request; when it expires the service degrades to the serial
+            in-process backend instead of waiting (``None``: no budget).
+        task_retries: supervised replays of a pooled task after a worker
+            failure before the pool gives up and the service degrades.
+        retry_backoff_seconds: base of the jittered exponential backoff
+            slept between those replays (deterministic per seed — see
+            :func:`repro.faults.backoff_delays`).
+
+    The four resilience knobs are schedule parameters: like worker count and
+    sync interval they are deliberately outside the persistence-key config
+    fingerprint, and — because rewards are pure — they can never change
+    which interface is generated, only how failures are survived.
     """
 
     max_iterations: int = 120
@@ -62,6 +80,10 @@ class SearchConfig:
     seed: int = 42
     backend: str = "serial"
     shared_rewards: bool = True
+    round_deadline_seconds: Optional[float] = 300.0
+    request_deadline_seconds: Optional[float] = None
+    task_retries: int = 2
+    retry_backoff_seconds: float = 0.05
 
     def rng(self, offset: int = 0) -> random.Random:
         """A deterministic RNG derived from the seed (per worker offset)."""
@@ -137,3 +159,7 @@ class SearchStats:
     #: recorded while tracing was enabled; the coordinator adopts them into
     #: its tracer so one exported trace covers every process of the run
     spans: Optional[list] = None
+    #: set when supervision degraded this search off its requested backend
+    #: (currently only ``"serial"``: the one-shot process backend failed and
+    #: the pipeline re-ran the search in-process); ``None`` on the happy path
+    degraded: Optional[str] = None

@@ -13,14 +13,17 @@ amortizes setup across repeated generation requests:
   on load so stale entries can never alias.
 
 :class:`~repro.service.service.GenerationService` fronts all three; the CLI
-exposes it via ``repro serve`` and ``repro generate --pool``.
+exposes it via ``repro serve`` and ``repro generate --pool``.  Supervision
+(worker replacement, task replays, the degradation ladder, deadlines) lives
+in the pool and the service; :mod:`repro.faults` provides the shared error
+vocabulary and the deterministic fault-injection harness that tests it.
 """
 
 from .fingerprint import catalog_fingerprint, config_fingerprint, workload_fingerprint
 from .persist import CACHE_VERSION, CacheBundle, CacheStore, persistence_key
 from .pool import PooledProcessBackend, ServiceWorkerSpec, WorkerPool
 from .service import GenerationService, RequestStats
-from .shm import CatalogManifest, SharedCatalogRegistry
+from .shm import CatalogManifest, SharedCatalogRegistry, sweep_orphaned_segments
 
 __all__ = [
     "CACHE_VERSION",
@@ -36,5 +39,6 @@ __all__ = [
     "catalog_fingerprint",
     "config_fingerprint",
     "persistence_key",
+    "sweep_orphaned_segments",
     "workload_fingerprint",
 ]

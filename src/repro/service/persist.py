@@ -24,8 +24,12 @@ validates *all three* before unpickling a single payload byte; any mismatch
 the file and the caller falls back to a cold run.  Rejection is silent by
 design: a damaged cache must never be able to fail a generation request.
 
-Writes go through a temp file + :func:`os.replace` so a crash mid-save
-leaves either the old bundle or none — never a torn file.
+Writes go through a temp file + ``fsync`` + :func:`os.replace` (and a
+best-effort directory fsync) so a crash — or power loss — mid-save leaves
+either the old bundle or the complete new one, never a torn file.  The
+``corrupt-persisted-cache`` fault site of :mod:`repro.faults` flips a
+payload bit *after* the header digest is computed, exercising exactly the
+torn-file path the validator must reject.
 
 Because rewards are pure functions of ``(seed, state fingerprint)`` (see
 :func:`repro.core.pipeline.make_reward_fn`), reloading a bundle changes how
@@ -45,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from .. import faults
 from ..obs import span
 from .fingerprint import catalog_fingerprint, config_fingerprint, workload_fingerprint
 
@@ -63,6 +68,20 @@ __all__ = ["CACHE_VERSION", "CacheBundle", "CacheStore", "persistence_key"]
 CACHE_VERSION = 1
 
 _MAGIC = b"PI2CACHE\x00"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def persistence_key(
@@ -139,6 +158,12 @@ class CacheStore:
             sort_keys=True,
         ).encode("ascii")
 
+        if faults.fire("corrupt-persisted-cache"):
+            # bit-flip the payload *after* the header digest was computed:
+            # the file lands with a clean header over dirty bytes, exactly
+            # what a torn write produces, and load() must reject it
+            payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
+
         self.root.mkdir(parents=True, exist_ok=True)
         target = self.path_for(key)
         with span("persist.save", key=key[:16], payload_bytes=len(payload)):
@@ -151,7 +176,12 @@ class CacheStore:
                     handle.write(header)
                     handle.write(b"\n")
                     handle.write(payload)
+                    # durability, not just atomicity: the data must be on
+                    # disk before the rename publishes it
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_path, target)
+                _fsync_dir(self.root)
             except Exception:
                 try:
                     os.unlink(tmp_path)

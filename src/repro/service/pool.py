@@ -20,8 +20,23 @@ warm-up.  :class:`WorkerPool` restructures the lifecycle around the *pool*:
   fragments from the previous request.
 
 Worker states: ``spawning → idle ⇄ serving → closed`` (``closed`` via the
-``shutdown`` message or pool teardown; a worker that raises replies
-``error`` and the pool fails the request and closes).
+``shutdown`` message or pool teardown).
+
+Supervision (PR 10): the pool never trusts a worker to stay alive.  Every
+coordinator receive multiplexes the pipe with the worker's process sentinel
+under the config's per-round deadline
+(:func:`repro.search.backends.process.supervised_recv`), so crashes and
+hangs surface as :class:`repro.faults.WorkerFailure` instead of wedging the
+service.  Recovery is *replace and replay*: dead or hung workers are
+respawned **at the same worker index** — the replacement re-enters the same
+node-id space and RNG offset, re-attaches the shared-memory catalogue and
+rebuilds its request context from the same task bytes — live workers are
+sent ``abort`` and drained back to idle, and the whole task is replayed
+(with the coordinator's current reward-table snapshot, which by reward
+purity changes cost, never trajectories).  Replays are bounded by
+``task_retries`` with deterministic jittered backoff; a pool that cannot
+recover closes, and the generation service degrades to a fresh pool or the
+serial in-process backend (see :mod:`repro.service.service`).
 
 Determinism: a pooled search constructs each task's
 :class:`~repro.search.mcts.MCTSWorker` exactly as the one-shot backend does
@@ -40,10 +55,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import faults
 from ..core.pipeline import build_reward_setup, make_reward_fn
 from ..database.catalog import Catalog
 from ..difftree.nodes import worker_id_counter
-from ..obs import MetricsRegistry, worker_metrics_snapshot
+from ..faults import DeadlineExceeded, WorkerFailure, backoff_delays
+from ..obs import MetricsRegistry, span, worker_metrics_snapshot
 from ..search.backends.base import (
     ParallelSearchResult,
     RewardTable,
@@ -53,15 +70,16 @@ from ..search.backends.base import (
 )
 from ..search.backends.process import (
     _mp_context,
+    check_reply,
     drive_search,
-    expect_reply,
     finalize_search,
     serve_search,
+    supervised_recv,
 )
 from ..search.mcts import MCTSWorker
 from ..search.state import SearchState
 from ..transform.engine import TransformEngine
-from .shm import CatalogManifest, SharedCatalogRegistry
+from .shm import CatalogManifest, SharedCatalogRegistry, _unlink_segment
 
 __all__ = ["PooledProcessBackend", "ServiceWorkerSpec", "WorkerPool"]
 
@@ -132,11 +150,16 @@ def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
         registry = MetricsRegistry()
         conn.send(("ready", 0.0))
         while True:
-            message = conn.recv()
+            # idle loop: the pool owner's death surfaces as EOFError below
+            message = conn.recv()  # repro: allow-unbounded-recv -- EOFError on pool-owner death is the liveness signal
             if message[0] == "task":
                 task = pickle.loads(message[1])
                 search_config = task["search_config"]
                 context_bytes = task["context"]
+                # per-task fault plan from the coordinator: reaches workers
+                # that were spawned before the plan was installed, and
+                # restarts hit counters on every (re)play
+                faults.install_local(task.get("faults"))
 
                 warmup_start = time.perf_counter()
                 context_key = hashlib.sha256(context_bytes).hexdigest()
@@ -207,7 +230,13 @@ def _pooled_worker_main(conn, spec_bytes: bytes, worker_index: int) -> None:
                     warmup_seconds,
                     cache_info,
                     metrics_snapshot=metrics_snapshot,
+                    worker_index=worker_index,
                 )
+            elif message[0] == "abort":
+                # recovery can reach a worker that is already idle (e.g. the
+                # task broadcast died before this worker's send): confirm and
+                # keep idling
+                conn.send(("aborted",))
             elif message[0] == "shutdown":
                 conn.send(("bye",))
                 return
@@ -233,6 +262,10 @@ class WorkerPool:
     request amortizes away.
     """
 
+    #: supervision deadline on worker spawn (catalogue attach + ready reply);
+    #: generous — it only has to catch a truly wedged child, not pace it
+    SPAWN_DEADLINE_SECONDS = 300.0
+
     def __init__(
         self, catalog: Catalog, workers: int, use_shm: bool = True
     ) -> None:
@@ -243,6 +276,12 @@ class WorkerPool:
         #: merged pool-lifetime worker metrics, refreshed at every task-ready
         #: barrier (see :meth:`run_task`)
         self.metrics = MetricsRegistry()
+        #: coordinator-side supervision counters (worker failures, respawns,
+        #: task replays); the service folds these into each request's view
+        self.supervisor = MetricsRegistry()
+        #: workers respawned over the pool's lifetime (mirrors the
+        #: ``pool.workers_replaced`` supervisor counter)
+        self.workers_replaced = 0
         self._registry: Optional[SharedCatalogRegistry] = None
 
         spawn_start = time.perf_counter()
@@ -251,75 +290,244 @@ class WorkerPool:
             try:
                 self._registry = SharedCatalogRegistry()
                 spec.manifest = self._registry.register(catalog)
+                if self._registry.reclaimed_segments:
+                    self.supervisor.counter("shm.reclaimed_segments").inc(
+                        self._registry.reclaimed_segments
+                    )
             except Exception:
                 # no shared memory on this platform: fall back to pickling
                 if self._registry is not None:
                     self._registry.close()
                     self._registry = None
                 spec.manifest = None
+        if spec.manifest is not None and faults.fire("unlink-shm-segment"):
+            # simulate a crashed owner's vanished segment: workers will fail
+            # to attach, and pool construction must fail loudly (the service
+            # ladder then rebuilds a fresh pool)
+            _unlink_segment(spec.manifest.segment)
         if spec.manifest is None:
             spec.catalog = catalog
-        spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
 
-        ctx = _mp_context()
+        self._ctx = _mp_context()
         self._connections = []
         self._processes = []
         try:
+            # start every process first (they warm concurrently), then wait
+            # for the ready barrier under spawn supervision
             for index in range(self.workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_pooled_worker_main,
-                    args=(child_conn, spec_bytes, index),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._connections.append(parent_conn)
+                conn, process = self._start_worker(index)
+                self._connections.append(conn)
                 self._processes.append(process)
-            for conn in self._connections:
-                expect_reply(conn, "ready")
+            for index in range(self.workers):
+                self._await_ready(index)
         except Exception:
             self.close()
             raise
         self.spawn_seconds = time.perf_counter() - spawn_start
 
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _start_worker(self, index: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pooled_worker_main,
+            args=(child_conn, self._spec_bytes, index),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
+    def _await_ready(self, index: int) -> None:
+        reply = supervised_recv(
+            self._connections[index],
+            self._processes[index],
+            deadline_at=time.monotonic() + self.SPAWN_DEADLINE_SECONDS,
+            worker=index,
+        )
+        check_reply(reply, "ready", worker=index)
+
+    def _replace_worker(self, index: int) -> None:
+        """Respawn worker ``index`` in place, preserving its identity.
+
+        The replacement runs from the same spec bytes under the same index,
+        so it re-enters the worker's node-id space and RNG offset, attaches
+        the same shared-memory catalogue and rebuilds request context from
+        the same task bytes — replaying a task through it is byte-identical
+        to a run that never crashed.
+        """
+        try:
+            self._connections[index].close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        process = self._processes[index]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=10)
+        conn, process = self._start_worker(index)
+        self._connections[index] = conn
+        self._processes[index] = process
+        self._await_ready(index)
+        self.workers_replaced += 1
+        self.supervisor.counter("pool.workers_replaced").inc()
+
+    def _recover(self, search_config) -> None:
+        """Bring every worker back to a known-idle state after a failure.
+
+        Dead workers are respawned at their index; live ones are aborted and
+        drained (stale sync replies included) until they confirm idleness.
+        A live worker that cannot confirm within the round deadline is hung
+        mid-round and replaced like a dead one.
+        """
+        drain_deadline = getattr(search_config, "round_deadline_seconds", None) or 60.0
+        for index in range(self.workers):
+            process = self._processes[index]
+            conn = self._connections[index]
+            if not process.is_alive():
+                self._replace_worker(index)
+                continue
+            try:
+                conn.send(("abort",))
+                limit = time.monotonic() + drain_deadline
+                while True:
+                    reply = supervised_recv(
+                        conn, process, deadline_at=limit, worker=index
+                    )
+                    if reply[0] == "aborted":
+                        break
+                    if reply[0] == "error":
+                        raise WorkerFailure(index, "faulted", str(reply[1]))
+            except (WorkerFailure, OSError):
+                self._replace_worker(index)
+
     def run_task(
-        self, task: dict, search_config, coordinator_table: Optional[RewardTable]
+        self,
+        task: dict,
+        search_config,
+        coordinator_table: Optional[RewardTable],
+        request_deadline_at: Optional[float] = None,
     ) -> tuple[list, list, int, int, bool]:
-        """Run one search over the live workers.
+        """Run one search over the live workers, surviving worker failures.
 
         ``task`` is pickled and broadcast; ``coordinator_table`` stays local
         (it holds a lock) and is driven through the round protocol.  Returns
         ``(finals, task_warmups, total_iterations, sync_rounds,
         early_stopped)``; the workers return to idle afterwards.
+
+        On :class:`WorkerFailure` the pool recovers (respawn the dead,
+        abort + drain the living) and replays the task from its initial
+        state — up to ``search_config.task_retries`` times, sleeping a
+        deterministic jittered backoff in between.  Because rewards are pure
+        and the replay reuses the coordinator's accumulated reward-table
+        snapshot, a replayed task produces byte-identical output to an
+        undisturbed run, just later.  An exhausted retry budget or an
+        expired request deadline closes the pool and re-raises for the
+        service's degradation ladder.
         """
         if self.closed:
             raise RuntimeError("worker pool is closed")
+        retries = max(0, int(getattr(search_config, "task_retries", 0) or 0))
+        delays = backoff_delays(
+            retries,
+            float(getattr(search_config, "retry_backoff_seconds", 0.05) or 0.0),
+            int(getattr(search_config, "seed", 0)),
+        )
+        task = dict(task)
+        task.setdefault("faults", faults.current_spec())
+        attempt = 0
+        while True:
+            try:
+                return self._run_task_once(
+                    task, search_config, coordinator_table, request_deadline_at
+                )
+            except DeadlineExceeded:
+                # no budget left to resynchronize the protocol: release the
+                # processes; the service degrades to serial instead
+                self.close()
+                raise
+            except WorkerFailure as failure:
+                self.supervisor.counter("pool.worker_failures").inc()
+                self.supervisor.counter(
+                    f"pool.worker_failures_{failure.kind}"
+                ).inc()
+                out_of_budget = request_deadline_at is not None and (
+                    time.monotonic() >= request_deadline_at
+                )
+                if attempt >= retries or out_of_budget or self.closed:
+                    self.close()
+                    raise
+                with span(
+                    "pool.recover",
+                    worker=failure.worker,
+                    kind=failure.kind,
+                    attempt=attempt,
+                ):
+                    try:
+                        self._recover(search_config)
+                    except Exception:
+                        self.close()
+                        raise failure from None
+                if coordinator_table is not None:
+                    # carry the rounds that *did* merge into the replay —
+                    # pure rewards make this a cost optimisation, not a
+                    # behaviour change
+                    task["table_seed"] = coordinator_table.snapshot()
+                time.sleep(delays[attempt])
+                attempt += 1
+                self.supervisor.counter("pool.task_retries").inc()
+            except Exception:
+                # a non-supervision error desynchronizes the protocol: the
+                # pool cannot serve further tasks, so release everything now
+                self.close()
+                raise
+
+    def _run_task_once(
+        self,
+        task: dict,
+        search_config,
+        coordinator_table: Optional[RewardTable],
+        request_deadline_at: Optional[float],
+    ) -> tuple[list, list, int, int, bool]:
         task_bytes = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
-        try:
-            for conn in self._connections:
+        round_deadline = getattr(search_config, "round_deadline_seconds", None)
+        for index, conn in enumerate(self._connections):
+            try:
                 conn.send(("task", task_bytes))
-            replies = [
-                expect_reply(conn, "task-ready") for conn in self._connections
-            ]
-            warmups = [reply[1] for reply in replies]
-            # merge the per-worker pool-lifetime snapshots deterministically
-            # (worker order); snapshots are cumulative, so the merged registry
-            # is rebuilt from the latest snapshot of every worker rather than
-            # accumulated across tasks
-            merged = MetricsRegistry()
-            for reply in replies:
-                if len(reply) > 2 and reply[2]:
-                    merged.merge(reply[2])
-            self.metrics = merged
-            finals, total_iterations, sync_rounds, early_stopped = drive_search(
-                self._connections, search_config, coordinator_table
+            except OSError as exc:
+                raise WorkerFailure(
+                    index, "crashed", f"task broadcast failed ({exc!r})"
+                ) from exc
+        replies = []
+        for index, conn in enumerate(self._connections):
+            deadline_at = (
+                time.monotonic() + round_deadline if round_deadline else None
             )
-        except Exception:
-            # a worker error desynchronizes the protocol: the pool cannot
-            # serve further tasks, so release processes and segment now
-            self.close()
-            raise
+            reply = supervised_recv(
+                conn,
+                self._processes[index],
+                deadline_at=deadline_at,
+                request_deadline_at=request_deadline_at,
+                worker=index,
+            )
+            replies.append(check_reply(reply, "task-ready", worker=index))
+        warmups = [reply[1] for reply in replies]
+        # merge the per-worker pool-lifetime snapshots deterministically
+        # (worker order); snapshots are cumulative, so the merged registry
+        # is rebuilt from the latest snapshot of every worker rather than
+        # accumulated across tasks
+        merged = MetricsRegistry()
+        for reply in replies:
+            if len(reply) > 2 and reply[2]:
+                merged.merge(reply[2])
+        self.metrics = merged
+        finals, total_iterations, sync_rounds, early_stopped = drive_search(
+            self._connections,
+            search_config,
+            coordinator_table,
+            processes=self._processes,
+            request_deadline_at=request_deadline_at,
+        )
         self.tasks_served += 1
         return finals, warmups, total_iterations, sync_rounds, early_stopped
 
@@ -413,9 +621,16 @@ class PooledProcessBackend:
             "shared_rewards": config.shared_rewards,
             "initial_state": dump_state(SearchState(job.initial_trees)),
             "table_seed": table_seed,
+            "faults": faults.current_spec(),
         }
+        request_deadline = getattr(config, "request_deadline_seconds", None)
+        request_deadline_at = (
+            time.monotonic() + request_deadline if request_deadline else None
+        )
         finals, warmups, total_iterations, sync_rounds, early_stopped = (
-            self.pool.run_task(task, config, table)
+            self.pool.run_task(
+                task, config, table, request_deadline_at=request_deadline_at
+            )
         )
 
         # warm requests pay no spawn / warm-up by construction: those costs

@@ -22,10 +22,26 @@ reward evaluation       the per-key reward table answers previously
 Because rewards are pure functions of (seed, state), none of this reuse can
 change the generated interface — warm requests are byte-identical to cold
 ones, only faster.
+
+Resilience (PR 10): a request that resolves to the process backend runs down
+a **degradation ladder** instead of failing on the first worker problem —
+
+1. the (warm or cold) pool, which itself retries tasks and replaces dead
+   workers (:meth:`repro.service.pool.WorkerPool.run_task`);
+2. a **fresh pool**, rebuilt from scratch when the first one could not
+   recover (``degraded="fresh-pool"``);
+3. the **serial in-process backend**, which needs no worker processes and
+   always completes (``degraded="serial"``).
+
+A ``request_deadline_seconds`` budget skips remaining pool rungs once it
+expires (``deadline_exceeded=True``).  Every rung produces byte-identical
+output (rewards are pure), so degradation trades speed, never correctness;
+:class:`RequestStats` records what the request survived.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -34,9 +50,11 @@ from ..core.pipeline import GenerationRuntime, generate_interface
 from ..database.catalog import Catalog
 from ..database.datasets import standard_catalog
 from ..difftree.builder import parse_queries
+from ..faults import DeadlineExceeded, GenerationFailure, WorkerFailure
 from ..obs import GLOBAL_METRICS, MetricsRegistry, publish_request_stats, span
 from ..search.backends import resolve_backend_name
 from ..search.backends.base import RewardTable
+from ..search.backends.serial import SerialBackend
 from .persist import persistence_key
 from .pool import PooledProcessBackend, WorkerPool
 
@@ -45,7 +63,7 @@ __all__ = ["GenerationService", "RequestStats"]
 
 @dataclass
 class RequestStats:
-    """Warm/cold observability for one service request."""
+    """Warm/cold and resilience observability for one service request."""
 
     #: ``"warm"`` / ``"cold"`` pool state the request ran under (``None``
     #: when the request ran on an in-process backend without a pool)
@@ -57,15 +75,33 @@ class RequestStats:
     reward_table_loaded: int
     reward_table_hits: int
     backend: str
+    #: supervised task replays the pool needed for this request (0 on the
+    #: happy path)
+    retries: int = 0
+    #: worker processes respawned while serving this request
+    workers_replaced: int = 0
+    #: degradation rung that produced the result — ``"fresh-pool"`` or
+    #: ``"serial"`` — or ``None`` when the requested backend served it
+    degraded: Optional[str] = None
+    #: the request-level deadline expired while serving (the serial rung
+    #: finished the request anyway)
+    deadline_exceeded: bool = False
 
     def summary(self) -> str:
         pool = self.pool or "off"
-        return (
+        line = (
             f"pool={pool} backend={self.backend} "
             f"reward_table_loaded={self.reward_table_loaded} "
             f"reward_table_hits={self.reward_table_hits} "
             f"warmup={self.warmup_seconds:.3f}s total={self.seconds:.3f}s"
         )
+        if self.retries or self.workers_replaced:
+            line += f" retries={self.retries} workers_replaced={self.workers_replaced}"
+        if self.degraded:
+            line += f" degraded={self.degraded}"
+        if self.deadline_exceeded:
+            line += " deadline_exceeded"
+        return line
 
 
 class GenerationService:
@@ -120,6 +156,18 @@ class GenerationService:
             self._pool_backend = PooledProcessBackend(self._pool)
         return self._pool_backend
 
+    def _reset_pool(self) -> None:
+        """Release the current pool so the next rung builds a fresh one."""
+        pool, self._pool, self._pool_backend = self._pool, None, None
+        if pool is not None:
+            pool.close()
+
+    def _pool_counter_delta(self, name: str, base: int) -> int:
+        """How much the live pool's supervisor counter grew past ``base``."""
+        if self._pool is None:
+            return 0
+        return max(0, int(self._pool.supervisor.value(name, 0)) - base)
+
     # -- requests -------------------------------------------------------------
 
     def generate(
@@ -142,27 +190,105 @@ class GenerationService:
             self._tables[key] = table
         loaded_before = table.size()
 
-        backend = self._pooled_backend_for(config)
-        pool_state: Optional[str] = None
-        if backend is not None:
-            backend.bind_request(asts, config)
-            pool_state = "warm" if backend.pool.warm else "cold"
-        elif loaded_before or key in self._keys_served:
-            # in-process backends have no spawn cost to amortize, but the
-            # request is still warm in the cache sense
-            pool_state = "warm"
-        else:
-            pool_state = "cold"
-        self._keys_served.add(key)
-
-        runtime = GenerationRuntime(
-            backend_instance=backend, reward_table=table, pool=pool_state
+        process_resolved = (
+            resolve_backend_name(config.search.backend, has_process_spec=True)
+            == "process"
         )
-        with span("service.request", pool=pool_state, key=key[:16]):
-            result = generate_interface(
-                asts, catalog=self.catalog, config=config, runtime=runtime
-            )
+        request_deadline = getattr(
+            config.search, "request_deadline_seconds", None
+        )
+        deadline_at = (
+            time.monotonic() + request_deadline if request_deadline else None
+        )
+        rungs = ("pool", "fresh-pool", "serial") if process_resolved else ("direct",)
+
+        pool_state: Optional[str] = None
+        degraded: Optional[str] = None
+        deadline_exceeded = False
+        retries = 0
+        replaced = 0
+        result: Optional[PipelineResult] = None
+        for rung in rungs:
+            terminal = rung in ("serial", "direct")
+            if (
+                not terminal
+                and deadline_at is not None
+                and time.monotonic() >= deadline_at
+            ):
+                # no budget left for (re)building worker processes: fall
+                # through to the serial rung, which always completes
+                deadline_exceeded = True
+                continue
+            if rung == "fresh-pool":
+                degraded = "fresh-pool"
+            elif rung == "serial":
+                degraded = "serial"
+            base_retries = base_replaced = 0
+            try:
+                if rung in ("pool", "fresh-pool"):
+                    backend = self._pooled_backend_for(config)
+                    backend.bind_request(asts, config)
+                    pool_state = "warm" if backend.pool.warm else "cold"
+                    base_retries = int(
+                        backend.pool.supervisor.value("pool.task_retries", 0)
+                    )
+                    base_replaced = int(
+                        backend.pool.supervisor.value("pool.workers_replaced", 0)
+                    )
+                    runtime = GenerationRuntime(
+                        backend_instance=backend,
+                        reward_table=table,
+                        pool=pool_state,
+                    )
+                elif rung == "serial":
+                    # bypasses both the name resolution and the
+                    # REPRO_SEARCH_BACKEND override: no worker processes
+                    runtime = GenerationRuntime(
+                        backend_instance=SerialBackend(),
+                        reward_table=table,
+                        pool=pool_state,
+                    )
+                else:  # direct: the in-process backend the config asked for
+                    pool_state = (
+                        "warm"
+                        if loaded_before or key in self._keys_served
+                        else "cold"
+                    )
+                    runtime = GenerationRuntime(
+                        backend_instance=None, reward_table=table, pool=pool_state
+                    )
+                with span(
+                    "service.request", pool=pool_state, rung=rung, key=key[:16]
+                ):
+                    result = generate_interface(
+                        asts, catalog=self.catalog, config=config, runtime=runtime
+                    )
+                retries += self._pool_counter_delta("pool.task_retries", base_retries)
+                replaced += self._pool_counter_delta(
+                    "pool.workers_replaced", base_replaced
+                )
+                break
+            except (WorkerFailure, DeadlineExceeded) as exc:
+                # harvest the failed rung's supervision counters before the
+                # pool object is dropped, then step down the ladder
+                retries += self._pool_counter_delta("pool.task_retries", base_retries)
+                replaced += self._pool_counter_delta(
+                    "pool.workers_replaced", base_replaced
+                )
+                if isinstance(exc, DeadlineExceeded):
+                    deadline_exceeded = True
+                self._reset_pool()
+                GLOBAL_METRICS.counter("service.rung_failures").inc()
+                if terminal:  # pragma: no cover - serial cannot fail this way
+                    raise GenerationFailure(
+                        f"every degradation rung failed (last: {exc})"
+                    ) from exc
+        if result is None:  # pragma: no cover - defensive
+            raise GenerationFailure("no degradation rung produced a result")
+        self._keys_served.add(key)
         stats = result.search_stats
+        degraded = degraded or getattr(stats, "degraded", None)
+        stats.degraded = degraded
         # the table may have been populated by a persisted-cache load inside
         # the pipeline; what the *search* saw preloaded is authoritative
         loaded = max(loaded_before, getattr(stats, "reward_table_loaded", 0))
@@ -174,6 +300,10 @@ class GenerationService:
             reward_table_loaded=loaded,
             reward_table_hits=stats.reward_table_hits,
             backend=stats.backend,
+            retries=retries,
+            workers_replaced=replaced,
+            degraded=degraded,
+            deadline_exceeded=deadline_exceeded,
         )
         self.requests.append(request)
         # fold the request view into the run's metrics (and the process-wide
@@ -182,6 +312,7 @@ class GenerationService:
         publish_request_stats(request, registry)
         if self._pool is not None:
             registry.merge(self._pool.metrics.snapshot())
+            registry.merge(self._pool.supervisor.snapshot())
         GLOBAL_METRICS.merge(registry.snapshot())
         if result.metrics is not None:
             result.metrics.update(registry.as_dict())

@@ -36,10 +36,18 @@ reclaims the segment even if the owner is dropped without ``close`` (crash
 safety).  Attachers never unlink; they close their mapping as soon as the
 columns are decoded.  The ``shm-lifecycle`` rule of :mod:`repro.analysis`
 statically enforces this create/cleanup pairing.
+
+Against the backstops failing too (``SIGKILL``, ``os._exit``, power loss),
+segments carry recognisable names — ``pi2shm-<owner pid>-<n>`` — and every
+new registry sweeps ``/dev/shm`` for repro-owned segments whose owning
+process is gone, unlinking them and counting the reclaims in the
+``shm.reclaimed_segments`` metric (see :func:`sweep_orphaned_segments`).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
 import weakref
 from dataclasses import dataclass, field
@@ -58,7 +66,89 @@ try:  # numpy-backed vector decode; the container bakes numpy in
 except Exception:  # pragma: no cover - numpy is a baked-in dependency
     _np = None
 
-__all__ = ["CatalogManifest", "ColumnManifest", "SharedCatalogRegistry"]
+__all__ = [
+    "CatalogManifest",
+    "ColumnManifest",
+    "SharedCatalogRegistry",
+    "sweep_orphaned_segments",
+]
+
+#: Name prefix of every segment this package creates.  The pid baked into
+#: the name is what lets a later process decide whether a leftover segment
+#: is an orphan (owner dead) or live (owner still running).
+_SEGMENT_PREFIX = "pi2shm"
+
+#: Where POSIX shared memory surfaces as files (Linux); the sweep is a
+#: best-effort no-op on platforms without it.
+_SHM_DIR = "/dev/shm"
+
+_segment_counter = itertools.count()
+
+
+def _segment_name() -> str:
+    """A fresh repro-owned segment name: ``pi2shm-<pid>-<n>``."""
+    return f"{_SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_counter)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe via signal 0; unknown errors count as alive (safe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # PermissionError etc.: some process has that pid
+        return True
+    return True
+
+
+def _unlink_segment(name: str) -> None:
+    """Unlink a segment by name (fault injection / orphan sweep)."""
+    shm = None
+    try:
+        shm = _attach_readonly(name)
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    finally:
+        if shm is not None:
+            shm.close()
+
+
+def sweep_orphaned_segments() -> int:
+    """Unlink repro-owned segments whose owner process is dead.
+
+    Scans ``/dev/shm`` for ``pi2shm-<pid>-*`` entries, probes the embedded
+    pid, and unlinks segments of dead owners — the leftovers of a pool
+    owner that died without running any of its cleanup paths.  Returns the
+    number of segments reclaimed and bumps the global
+    ``shm.reclaimed_segments`` counter by it.  Never raises: a sweep
+    failure must not stop a registry from being built.
+    """
+    reclaimed = 0
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux platform
+        return 0
+    for entry in sorted(entries):
+        if not entry.startswith(_SEGMENT_PREFIX + "-"):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):  # pragma: no cover - foreign name
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+            reclaimed += 1
+        except OSError:  # pragma: no cover - raced with another sweeper
+            continue
+    if reclaimed:
+        from ..obs import GLOBAL_METRICS
+
+        GLOBAL_METRICS.counter("shm.reclaimed_segments").inc(reclaimed)
+    return reclaimed
 
 
 @dataclass
@@ -221,6 +311,8 @@ class SharedCatalogRegistry:
             raise RuntimeError("shared-memory catalogues require numpy")
         #: fingerprint -> (SharedMemory, CatalogManifest)
         self._segments: dict[str, tuple[shared_memory.SharedMemory, CatalogManifest]] = {}
+        #: orphans of dead owners reclaimed while building this registry
+        self.reclaimed_segments = sweep_orphaned_segments()
         self._finalizer = weakref.finalize(
             self, SharedCatalogRegistry._cleanup_segments, self._segments
         )
@@ -274,7 +366,17 @@ class SharedCatalogRegistry:
             tables.append(table_manifest)
 
         total = max(1, cursor)  # zero-byte segments are not allowed
-        shm = shared_memory.SharedMemory(create=True, size=total)
+        # named creation (pid in the name) so a later sweep can tell orphans
+        # from live segments; retry on the (unlikely) collision with a
+        # leftover of a previous same-pid process
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_segment_name(), create=True, size=total
+                )
+                break
+            except FileExistsError:  # pragma: no cover - pid-reuse leftover
+                continue
         try:
             position = 0
             for buf in buffers:

@@ -707,6 +707,67 @@ def test_wallclock_key_fires_on_span_object_and_pragma_suppresses():
     assert len(suppressed) == 1
 
 
+# -- unbounded-recv ------------------------------------------------------------
+
+
+def test_unbounded_recv_fires_on_bare_blocking_receives():
+    fired, _ = findings_for(
+        """
+        def collect(conn, job_queue, process):
+            reply = conn.recv()
+            item = job_queue.get()
+            process.join()
+            return reply, item
+        """,
+        "unbounded-recv",
+    )
+    assert len(fired) == 3
+    assert "recv()" in fired[0].message
+    assert any("job_queue.get()" in f.message for f in fired)
+    assert any("process.join()" in f.message for f in fired)
+
+
+def test_unbounded_recv_quiet_under_wait_poll_and_bounded_calls():
+    fired, _ = findings_for(
+        """
+        from multiprocessing import connection
+
+        def supervised(conn, process, timeout):
+            ready = connection.wait([conn, process.sentinel], timeout=timeout)
+            if conn in ready:
+                return conn.recv()
+            raise RuntimeError("peer died")
+
+        def drain(conn, process, job_queue):
+            if conn.poll(5):
+                conn.recv()
+            process.join(timeout=10)
+            return job_queue.get(timeout=1)
+
+        def lookups(cache, counts):
+            # dict/metric .get() calls always pass a key: never flagged
+            return cache.get("plan"), counts.get(("site", 1), 0)
+        """,
+        "unbounded-recv",
+    )
+    assert fired == []
+
+
+def test_unbounded_recv_pragma_marks_eof_as_liveness():
+    fired, suppressed = findings_for(
+        """
+        def worker_loop(conn):
+            while True:
+                message = conn.recv()  # repro: allow-unbounded-recv -- EOFError on owner death is the liveness signal
+                if message[0] == "shutdown":
+                    return
+        """,
+        "unbounded-recv",
+    )
+    assert fired == []
+    assert len(suppressed) == 1
+
+
 # -- framework: pragmas, allow-all, parse errors -------------------------------
 
 
@@ -832,7 +893,7 @@ def test_cli_bad_rule_and_missing_paths_exit_2(tmp_path, capsys):
     capsys.readouterr()
 
 
-def test_cli_list_rules_names_all_seven(capsys):
+def test_cli_list_rules_names_all_eight(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for rule in (
@@ -843,6 +904,7 @@ def test_cli_list_rules_names_all_seven(capsys):
         "nondeterministic-key",
         "shm-lifecycle",
         "no-wallclock-in-key",
+        "unbounded-recv",
     ):
         assert rule in out
 

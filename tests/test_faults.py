@@ -1,0 +1,296 @@
+"""Fault injection and supervision: the service survives, bytes unchanged.
+
+Every test drives the *real* service stack — pool, process protocol, shared
+memory, persistence — under a deterministic fault plan (:mod:`repro.faults`)
+and asserts two things:
+
+1. **recovery**: the request completes despite killed / hung workers,
+   dropped or duplicated sync messages, corrupted cache bundles and
+   vanished shared-memory segments, and :class:`repro.service.RequestStats`
+   reports what happened (retries, replaced workers, degradation rung);
+2. **byte identity**: the interface produced under faults is exactly the
+   one a fault-free run produces — rewards are pure functions of
+   (seed, state), so supervision (worker replacement, task replay, the
+   degradation ladder down to the serial backend) can change cost, never
+   trajectories.
+
+Faults that must fire exactly once across every process and retry carry a
+``once=<token file>`` clause; without it a respawned worker replaying the
+task would re-fire the fault and recovery could never converge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import generate_interface
+from repro.database import standard_catalog
+from repro.difftree.builder import parse_queries
+from repro.faults import FaultPlan, WorkerFailure, backoff_delays
+from repro.search.backends import BACKEND_ENV_VAR
+from repro.service import CacheStore, GenerationService, persistence_key
+
+QUERIES = [
+    "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Pin the backend choice and guarantee no fault plan leaks out."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+    faults.install_local(None)
+    yield
+    faults.reset()
+
+
+def _config(seed: int = 5, **search) -> PipelineConfig:
+    config = PipelineConfig.fast(seed=seed)
+    config.search.max_iterations = 24
+    config.search.early_stop = 12
+    config.search.workers = 2
+    config.search.backend = "process"
+    config.search.shared_rewards = True
+    # short enough that injected hangs resolve in seconds, long enough that
+    # a loaded CI box never trips it on healthy rounds
+    config.search.round_deadline_seconds = 30.0
+    for key, value in search.items():
+        setattr(config.search, key, value)
+    return config
+
+
+def _catalog():
+    return standard_catalog(seed=11, scale=0.12)
+
+
+def _signature(result) -> tuple:
+    return (
+        json.dumps(result.interface.to_dict(), sort_keys=True, default=str),
+        result.best_reward,
+        result.state.fingerprint(),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_signature():
+    """The fault-free answer, computed once on the serial backend (which by
+    the repo's cross-backend invariant is byte-identical to process runs)."""
+    config = _config()
+    config.search.backend = "serial"
+    result = generate_interface(QUERIES, catalog=_catalog(), config=config)
+    return _signature(result)
+
+
+def _pooled_run(fault_spec, *, warm: bool, config=None, catalog=None):
+    """One pooled request under ``fault_spec``; optionally warm the pool
+    with a clean request first (the per-task spec reaches live workers)."""
+    config = config or _config()
+    catalog = catalog if catalog is not None else _catalog()
+    with GenerationService(catalog=catalog, config=config) as service:
+        if warm:
+            service.generate(QUERIES)
+        if fault_spec is not None:
+            faults.install(fault_spec)
+        try:
+            result = service.generate(QUERIES)
+        finally:
+            faults.reset()
+        return result, service.requests[-1]
+
+
+# -- the fault matrix: recovery + byte identity --------------------------------
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+def test_killed_worker_is_replaced_and_task_replayed(
+    tmp_path, warm, baseline_signature
+):
+    token = tmp_path / "kill.tok"
+    result, stats = _pooled_run(
+        f"kill-worker-before-sync:worker=1:once={token}", warm=warm
+    )
+    assert _signature(result) == baseline_signature
+    assert stats.workers_replaced >= 1
+    assert stats.retries >= 1
+    assert stats.degraded is None  # the pool itself recovered
+    assert stats.pool == ("warm" if warm else "cold")
+    assert token.exists()  # the fault really fired
+
+
+def test_hung_worker_trips_round_deadline_and_is_replaced(
+    tmp_path, baseline_signature
+):
+    token = tmp_path / "hang.tok"
+    config = _config(round_deadline_seconds=2.0)
+    result, stats = _pooled_run(
+        f"hang-in-reward-eval:worker=1:seconds=30:once={token}",
+        warm=False,
+        config=config,
+    )
+    assert _signature(result) == baseline_signature
+    # the sleeper is alive but silent: hang detection must replace it
+    assert stats.workers_replaced >= 1
+    assert stats.retries >= 1
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+def test_dropped_sync_message_is_retried_without_replacement(
+    tmp_path, warm, baseline_signature
+):
+    token = tmp_path / "drop.tok"
+    config = _config(round_deadline_seconds=2.0)
+    result, stats = _pooled_run(
+        f"drop-sync-message:worker=0:once={token}", warm=warm, config=config
+    )
+    assert _signature(result) == baseline_signature
+    assert stats.retries >= 1
+    # the worker is healthy (it only lost one message): abort + drain must
+    # reclaim it without respawning
+    assert stats.workers_replaced == 0
+
+
+def test_duplicated_sync_message_is_discarded_by_sequence_number(
+    baseline_signature,
+):
+    result, stats = _pooled_run("duplicate-sync-message:worker=0", warm=False)
+    assert _signature(result) == baseline_signature
+    # duplicates are dropped by seq comparison: no failure, no recovery
+    assert stats.retries == 0
+    assert stats.workers_replaced == 0
+    assert stats.degraded is None
+
+
+def test_unlinked_shm_segment_degrades_to_fresh_pool(baseline_signature):
+    result, stats = _pooled_run("unlink-shm-segment", warm=False)
+    assert _signature(result) == baseline_signature
+    assert stats.degraded == "fresh-pool"
+
+
+def test_unrecoverable_pool_walks_ladder_down_to_serial(baseline_signature):
+    # every worker dies on every attempt and the retry budget is zero: the
+    # warm rung fails, the fresh pool fails, the serial rung must answer
+    config = _config(task_retries=0)
+    result, stats = _pooled_run(
+        "kill-worker-before-sync:count=9999", warm=False, config=config
+    )
+    assert _signature(result) == baseline_signature
+    assert stats.degraded == "serial"
+    assert stats.backend == "serial"
+
+
+def test_expired_request_deadline_skips_to_serial(baseline_signature):
+    config = _config(request_deadline_seconds=1e-6)
+    result, stats = _pooled_run(None, warm=False, config=config)
+    assert _signature(result) == baseline_signature
+    assert stats.deadline_exceeded
+    assert stats.degraded == "serial"
+
+
+def test_corrupted_cache_bundle_is_rejected_and_run_falls_back_cold(
+    tmp_path, baseline_signature
+):
+    cache_dir = tmp_path / "cache"
+    config = _config()
+    config.search.backend = "serial"
+    config.cache_dir = str(cache_dir)
+    catalog = _catalog()
+
+    faults.install("corrupt-persisted-cache")
+    try:
+        first = generate_interface(QUERIES, catalog=catalog, config=config)
+    finally:
+        faults.reset()
+    # the fault corrupts only the *persisted* payload, never the answer
+    assert _signature(first) == baseline_signature
+
+    # the header digest no longer matches the bit-flipped payload: the
+    # validator must reject the bundle before unpickling a byte of it
+    key = persistence_key(catalog, parse_queries(QUERIES), config)
+    store = CacheStore(str(cache_dir))
+    assert store.load(key) is None
+    assert store.load_rejects == 1
+
+    # and the next run must quietly fall back to a cold — identical — run
+    second = generate_interface(QUERIES, catalog=catalog, config=config)
+    assert _signature(second) == baseline_signature
+    assert second.search_stats.reward_table_loaded == 0
+
+
+# -- the harness itself --------------------------------------------------------
+
+
+def test_fault_plan_parses_grammar_and_windows():
+    plan = FaultPlan(
+        "kill-worker-before-sync:worker=1:hit=2:count=2;"
+        "hang-in-reward-eval:seconds=1.5"
+    )
+    kill, hang = plan.specs
+    assert (kill.worker, kill.hit, kill.count) == (1, 2, 2)
+    assert hang.seconds == 1.5 and hang.worker is None
+
+    # worker filter: only worker 1 advances the kill counter
+    assert plan.fire("kill-worker-before-sync", worker=0) is None
+    # hit window [2, 4): first call misses, second and third fire, fourth not
+    assert plan.fire("kill-worker-before-sync", worker=1) is None
+    assert plan.fire("kill-worker-before-sync", worker=1) is not None
+    assert plan.fire("kill-worker-before-sync", worker=1) is not None
+    assert plan.fire("kill-worker-before-sync", worker=1) is None
+    # any-worker site fires on its first hit
+    assert plan.fire("hang-in-reward-eval", worker=3) is not None
+
+    with pytest.raises(ValueError):
+        FaultPlan("kill-worker-before-sync:bogus=1")
+
+
+def test_once_token_admits_exactly_one_claimant(tmp_path):
+    token = tmp_path / "once.tok"
+    plan_a = FaultPlan(f"drop-sync-message:count=99:once={token}")
+    plan_b = FaultPlan(f"drop-sync-message:count=99:once={token}")
+    assert plan_a.fire("drop-sync-message") is not None
+    # the same plan, a retry in another plan object, or another process
+    # (simulated here) must all lose the claim
+    assert plan_a.fire("drop-sync-message") is None
+    assert plan_b.fire("drop-sync-message") is None
+
+
+def test_fire_is_inert_without_an_installed_plan():
+    faults.install_local(None)
+    assert faults.fire("kill-worker-before-sync") is None
+    faults.maybe_kill("kill-worker-before-sync")  # must not exit
+    faults.maybe_hang("hang-in-reward-eval")  # must not sleep
+
+
+def test_install_propagates_spec_through_environment_and_tasks():
+    faults.install("drop-sync-message:worker=1")
+    try:
+        assert os.environ[faults.FAULTS_ENV_VAR] == "drop-sync-message:worker=1"
+        assert faults.current_spec() == "drop-sync-message:worker=1"
+    finally:
+        faults.reset()
+    assert faults.current_spec() is None
+    assert faults.FAULTS_ENV_VAR not in os.environ
+
+
+def test_backoff_delays_are_jittered_exponential_and_deterministic():
+    delays = backoff_delays(4, 0.1, seed=42)
+    assert delays == backoff_delays(4, 0.1, seed=42)
+    assert delays != backoff_delays(4, 0.1, seed=43)
+    assert len(delays) == 4
+    for i, delay in enumerate(delays):
+        # jitter keeps each delay within [0.5, 1.5) x base * 2^i
+        assert 0.05 * 2**i <= delay < 0.15 * 2**i
+    assert backoff_delays(0, 0.1, seed=42) == []
+
+
+def test_worker_failure_carries_its_diagnosis():
+    failure = WorkerFailure(2, "hung", "no reply within the round deadline")
+    assert failure.worker == 2 and failure.kind == "hung"
+    assert "worker 2 hung" in str(failure)
+    assert isinstance(failure, RuntimeError)  # pre-supervision catch-alls
